@@ -1,0 +1,68 @@
+//! IXP island benchmarks: packet pipeline throughput with and without
+//! deep packet inspection, and the flow-knob costs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ixp::{AppTag, IxpConfig, IxpIsland, Packet};
+use simcore::Nanos;
+use std::hint::black_box;
+
+fn drive_packets(island: &mut IxpIsland, n: u64) -> usize {
+    let mut delivered = 0;
+    let mut now = Nanos::ZERO;
+    for i in 0..n {
+        now += Nanos(2_000); // 500 kpps offered
+        let pkt = Packet::new(i, 1, 1400, AppTag::Http { class_id: 3, write: false });
+        delivered += island.rx_from_wire(now, pkt).len();
+        // Open the window as fast as packets appear.
+        let evs = island.host_ack(now, ixp::FlowId(0), 4);
+        delivered += evs.len();
+    }
+    while let Some(t) = island.next_event_time() {
+        delivered += island.on_timer(t).len();
+    }
+    delivered
+}
+
+fn bench_rx_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ixp/rx_pipeline");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("flow_classify_1k_pkts", |b| {
+        b.iter(|| {
+            let mut island = IxpIsland::new(IxpConfig::default());
+            island.register_flow(1);
+            black_box(drive_packets(&mut island, 1000))
+        })
+    });
+    g.bench_function("dpi_classify_1k_pkts", |b| {
+        b.iter(|| {
+            let cfg = IxpConfig { dpi: true, ..IxpConfig::default() };
+            let mut island = IxpIsland::new(cfg);
+            island.register_flow(1);
+            black_box(drive_packets(&mut island, 1000))
+        })
+    });
+    g.finish();
+}
+
+fn bench_flow_knobs(c: &mut Criterion) {
+    c.bench_function("ixp/set_flow_threads", |b| {
+        let mut island = IxpIsland::new(IxpConfig::default());
+        let flow = island.register_flow(1);
+        let mut n = 2;
+        b.iter(|| {
+            n = if n == 2 { 4 } else { 2 };
+            island.set_flow_threads(black_box(flow), n)
+        })
+    });
+    c.bench_function("ixp/buffer_occupancy_query", |b| {
+        let mut island = IxpIsland::new(IxpConfig::default());
+        let flow = island.register_flow(1);
+        for i in 0..100 {
+            island.rx_from_wire(Nanos(i * 1000), Packet::new(i, 1, 1400, AppTag::Plain));
+        }
+        b.iter(|| black_box(island.flow_queue_bytes(flow)))
+    });
+}
+
+criterion_group!(benches, bench_rx_pipeline, bench_flow_knobs);
+criterion_main!(benches);

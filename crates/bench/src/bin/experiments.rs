@@ -1,0 +1,71 @@
+//! Regenerates every table and figure of the paper's evaluation plus the
+//! ablations, printing paper-style tables and writing CSVs to `results/`.
+//!
+//! Usage: `experiments [all|fig2|table1|fig4|table2|fig5|fig6|fig7|table3|ablations]`
+
+use metrics::Table;
+use std::fs;
+use std::time::Instant;
+
+fn emit(slug: &str, table: &Table) {
+    println!("{table}");
+    if fs::create_dir_all("results").is_ok() {
+        let path = format!("results/{slug}.csv");
+        if let Err(e) = fs::write(&path, table.to_csv()) {
+            eprintln!("warning: could not write {path}: {e}");
+        }
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let t0 = Instant::now();
+    let selected: Vec<(String, Table)> = match which.as_str() {
+        "all" => bench::all_experiments(),
+        "fig2" => vec![("fig2".into(), bench::fig2())],
+        "table1" => vec![("table1".into(), bench::table1())],
+        "fig4" => vec![
+            ("fig4".into(), bench::fig4()),
+            ("fig4_browsing".into(), bench::fig4_browsing()),
+        ],
+        "table2" => vec![("table2".into(), bench::table2())],
+        "fig5" => vec![("fig5".into(), bench::fig5())],
+        "fig6" => vec![("fig6".into(), bench::fig6())],
+        "fig7" => {
+            let (series, summary) = bench::fig7();
+            vec![
+                ("fig7_series".into(), series),
+                ("fig7_summary".into(), summary),
+            ]
+        }
+        "table3" => vec![("table3".into(), bench::table3())],
+        "extensions" => vec![
+            ("p1_power_capping".into(), bench::extension_p1()),
+            ("s1_fabric_scalability".into(), bench::extension_s1()),
+        ],
+        "ablations" => vec![
+            ("a1_channel_latency".into(), bench::ablation_a1()),
+            ("a2_hysteresis".into(), bench::ablation_a2()),
+            ("a3_notification".into(), bench::ablation_a3()),
+            ("a4_ixp_threads".into(), bench::ablation_a4()),
+            ("a5_trigger_rate".into(), bench::ablation_a5()),
+            ("a6_accounting_mode".into(), bench::ablation_a6()),
+        ],
+        "list" => {
+            println!("available: all fig2 table1 fig4 table2 fig5 fig6 fig7 table3 ablations extensions");
+            return;
+        }
+        other => {
+            eprintln!("unknown experiment '{other}' (try `experiments list`)");
+            std::process::exit(2);
+        }
+    };
+    for (slug, table) in &selected {
+        emit(slug, table);
+    }
+    println!(
+        "{} experiment table(s) regenerated in {:.2?}; CSVs under results/",
+        selected.len(),
+        t0.elapsed()
+    );
+}

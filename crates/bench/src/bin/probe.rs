@@ -1,0 +1,128 @@
+//! Calibration probe: quick, detailed looks at the headline scenarios.
+//!
+//! Usage: `probe [all|rubis|static|mplayer|trigger]`
+//!
+//! * `rubis` — baseline vs coordinated read-write mix with per-type stats
+//! * `static` — static weight assignments (sanity-checks the scheduler's
+//!   sensitivity outside the coordination loop)
+//! * `mplayer` — the three Figure 6 weight configurations
+//! * `trigger` — Figure 7 / Table 3 buffer-trigger runs
+
+use coord::PolicyKind;
+use platform::{MplayerScenario, PlatformBuilder, RubisScenario};
+use simcore::Nanos;
+
+fn rubis(policy: PolicyKind, label: &str) {
+    rubis_w(policy, label, None)
+}
+
+fn rubis_w(policy: PolicyKind, label: &str, weights: Option<(u32, u32, u32)>) {
+    let mut sim = PlatformBuilder::new()
+        .seed(42)
+        .policy(policy)
+        .build_rubis(RubisScenario::read_write_mix(24));
+    if let Some((w, a, d)) = weights {
+        sim.set_weight_by_name("web", w);
+        sim.set_weight_by_name("app", a);
+        sim.set_weight_by_name("db", d);
+    }
+    let t0 = std::time::Instant::now();
+    let r = sim.run(Nanos::from_secs(60));
+    println!("== RUBiS {label} (wall {:?})", t0.elapsed());
+    println!(
+        "  throughput {:.1} req/s  sessions {}  avg-session {:.1}s  efficiency {:.1}",
+        r.rubis.throughput, r.rubis.sessions, r.rubis.avg_session_secs, r.efficiency
+    );
+    for c in &r.cpu {
+        println!(
+            "  {}: {:.1}% (u {:.1} / s {:.1} / steal {:.1})",
+            c.name, c.percent, c.user, c.system, c.steal
+        );
+    }
+    println!(
+        "  coord: sent {} tunes {} trig {}  net: drops {} link {} deliv {}",
+        r.coord.messages_sent,
+        r.coord.tunes_applied,
+        r.coord.triggers_applied,
+        r.net.ixp_drops,
+        r.net.link_drops,
+        r.net.delivered
+    );
+    println!("  guest_drops {}", r.net.guest_drops);
+    for (name, s) in r.rubis.responses.iter() {
+        println!(
+            "  {:26} n={:4} mean={:7.1} sd={:7.1} min={:6.1} max={:8.1}",
+            name,
+            s.count(),
+            s.mean(),
+            s.std_dev(),
+            s.min(),
+            s.max()
+        );
+    }
+}
+
+fn mplayer(w1: u32, w2: u32) {
+    let mut sim = PlatformBuilder::new()
+        .seed(42)
+        .policy(PolicyKind::None)
+        .build_mplayer(MplayerScenario::figure6(w1, w2));
+    let r = sim.run(Nanos::from_secs(60));
+    println!("== MPlayer weights {w1}-{w2}");
+    for p in &r.players {
+        println!(
+            "  {}: target {} achieved {:.1} fps ({} frames)",
+            p.name, p.target_fps, p.achieved_fps, p.frames
+        );
+    }
+    for c in &r.cpu {
+        println!("  {}: {:.1}% steal {:.1}", c.name, c.percent, c.steal);
+    }
+    println!("  drops {} delivered {}", r.net.ixp_drops, r.net.delivered);
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    if which == "all" || which == "rubis" {
+        rubis(PolicyKind::None, "baseline");
+        rubis(PolicyKind::RequestType, "coordinated");
+    }
+    if which == "static" {
+        rubis_w(PolicyKind::None, "static 256/512/512", Some((256, 512, 512)));
+        rubis_w(PolicyKind::None, "static 512/512/160", Some((512, 512, 160)));
+        rubis_w(PolicyKind::None, "static 64/64/64", Some((64, 64, 64)));
+    }
+    if which == "all" || which == "mplayer" {
+        mplayer(256, 256);
+        mplayer(384, 512);
+        mplayer(384, 640);
+    }
+    if which == "trigger" {
+        for policy in [PolicyKind::None, PolicyKind::BufferTrigger] {
+            let mut sim = PlatformBuilder::new()
+                .seed(42)
+                .policy(policy)
+                .build_mplayer(MplayerScenario::trigger_setup());
+            let r = sim.run(Nanos::from_secs(180));
+            println!("== trigger policy={:?}", policy);
+            for p in &r.players {
+                println!("  {}: {:.3} fps ({} frames)", p.name, p.achieved_fps, p.frames);
+            }
+            let late: Vec<f64> = r
+                .buffer_series
+                .points()
+                .iter()
+                .filter(|(t, _)| t.as_millis() > 60_000)
+                .map(|&(_, v)| v)
+                .collect();
+            let late_mean = late.iter().sum::<f64>() / late.len().max(1) as f64;
+            println!(
+                "  triggers {} buffer max {:.0} late-mean {:.0} drops {}",
+                r.coord.triggers_applied,
+                r.buffer_series.max_value().unwrap_or(0.0),
+                late_mean,
+                r.net.ixp_drops
+            );
+        }
+    }
+}

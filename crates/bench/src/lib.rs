@@ -1,0 +1,793 @@
+//! # bench — the experiment harness
+//!
+//! One function per table and figure of the paper's evaluation (§3), plus
+//! the ablations DESIGN.md calls out. Each experiment builds the platform
+//! through the public API, runs it deterministically, and renders
+//! paper-style [`Table`]s; the `experiments` binary prints them and writes
+//! CSVs under `results/`.
+//!
+//! Reproduction targets are *shapes*, not absolute numbers — see
+//! EXPERIMENTS.md for the measured-vs-paper comparison and the analysis of
+//! where (and why) magnitudes diverge.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use coord::PolicyKind;
+use metrics::Table;
+use pcie::NotifyMode;
+use platform::{MplayerScenario, PlatformBuilder, RubisScenario, RunReport};
+use simcore::Nanos;
+
+/// Default deterministic seed for headline runs.
+pub const SEED: u64 = 42;
+
+/// Simulated duration of RUBiS runs.
+pub const RUBIS_SECS: u64 = 300;
+
+/// Simulated duration of the Figure 7 trigger run.
+pub const TRIGGER_SECS: u64 = 180;
+
+fn run_rubis(policy: PolicyKind, scenario: RubisScenario, seed: u64) -> RunReport {
+    let mut sim = PlatformBuilder::new()
+        .seed(seed)
+        .policy(policy)
+        .build_rubis(scenario);
+    sim.run(Nanos::from_secs(RUBIS_SECS))
+}
+
+fn fmt(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+fn yesno(b: bool) -> String {
+    if b {
+        "yes".into()
+    } else {
+        "NO".into()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Figure 2 — RUBiS min–max response latencies, uncoordinated baseline
+// ----------------------------------------------------------------------
+
+/// Figure 2: variation in minimum–maximum response latencies under the
+/// bid/browse/sell mix with no coordination.
+pub fn fig2() -> Table {
+    let r = run_rubis(PolicyKind::None, RubisScenario::read_write_mix(24), SEED);
+    let mut t = Table::new(
+        "Figure 2 — RUBiS min-max response latencies, no coordination (ms)",
+        &["Request Type", "min", "max", "mean", "sd", "p95", "p99"],
+    );
+    let names: Vec<String> = r.rubis.responses.iter().map(|(n, _)| n.to_owned()).collect();
+    for name in names {
+        let s = r.rubis.responses.summary(&name).expect("iterated key");
+        t.row_owned(vec![
+            name.clone(),
+            fmt(s.min()),
+            fmt(s.max()),
+            fmt(s.mean()),
+            fmt(s.std_dev()),
+            fmt(r.rubis.responses.percentile(&name, 0.95)),
+            fmt(r.rubis.responses.percentile(&name, 0.99)),
+        ]);
+    }
+    t
+}
+
+// ----------------------------------------------------------------------
+// Table 1 — average response times, base vs coord-ixp-dom0
+// ----------------------------------------------------------------------
+
+/// Table 1: per-type average response times, baseline vs coordinated.
+pub fn table1() -> Table {
+    let base = run_rubis(PolicyKind::None, RubisScenario::read_write_mix(24), SEED);
+    let coord = run_rubis(
+        PolicyKind::RequestType,
+        RubisScenario::read_write_mix(24),
+        SEED,
+    );
+    let mut t = Table::new(
+        "Table 1 — RUBiS average request response times (ms)",
+        &["Request Type", "Base", "coord-ixp-dom0", "change %"],
+    );
+    for (name, s) in base.rubis.responses.iter() {
+        let c = coord
+            .rubis
+            .responses
+            .summary(name)
+            .map(|c| c.mean())
+            .unwrap_or(0.0);
+        let pct = if s.mean() > 0.0 {
+            (c / s.mean() - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        t.row_owned(vec![
+            name.to_owned(),
+            fmt(s.mean()),
+            fmt(c),
+            format!("{pct:+.1}"),
+        ]);
+    }
+    t
+}
+
+// ----------------------------------------------------------------------
+// Figure 4 — min-max response, base vs coordinated
+// ----------------------------------------------------------------------
+
+/// Figure 4: min–max response times with and without coordination
+/// (read-write mix). The paper's headline: coordination alleviates peak
+/// latencies and reduces per-type standard deviation.
+pub fn fig4() -> Table {
+    let base = run_rubis(PolicyKind::None, RubisScenario::read_write_mix(24), SEED);
+    let coord = run_rubis(
+        PolicyKind::RequestType,
+        RubisScenario::read_write_mix(24),
+        SEED,
+    );
+    let mut t = Table::new(
+        "Figure 4 — RUBiS min-max response times, base vs coordinated (ms)",
+        &[
+            "Request Type",
+            "min B",
+            "max B",
+            "sd B",
+            "min C",
+            "max C",
+            "sd C",
+        ],
+    );
+    for (name, s) in base.rubis.responses.iter() {
+        let c = coord.rubis.responses.summary(name);
+        let (cmin, cmax, csd) = c
+            .map(|c| (c.min(), c.max(), c.std_dev()))
+            .unwrap_or_default();
+        t.row_owned(vec![
+            name.to_owned(),
+            fmt(s.min()),
+            fmt(s.max()),
+            fmt(s.std_dev()),
+            fmt(cmin),
+            fmt(cmax),
+            fmt(csd),
+        ]);
+    }
+    t
+}
+
+/// Figure 4's footnote experiment: under the pure browsing mix (no
+/// read-write transitions) coordination should win for every type.
+pub fn fig4_browsing() -> Table {
+    // Moderate load: the browsing mix is web-heavy, and the paper's point
+    // is that without read/write transitions the coordination regime is
+    // always right — best visible when the web tier is not pinned at
+    // saturation.
+    let base = run_rubis(PolicyKind::None, RubisScenario::browsing_mix(12), SEED);
+    let coord = run_rubis(
+        PolicyKind::RequestType,
+        RubisScenario::browsing_mix(12),
+        SEED,
+    );
+    let mut t = Table::new(
+        "Figure 4 (browsing-only mix) — mean/max response times (ms)",
+        &["Request Type", "mean B", "max B", "mean C", "max C"],
+    );
+    for (name, s) in base.rubis.responses.iter() {
+        let c = coord.rubis.responses.summary(name);
+        let (cm, cx) = c.map(|c| (c.mean(), c.max())).unwrap_or_default();
+        t.row_owned(vec![
+            name.to_owned(),
+            fmt(s.mean()),
+            fmt(s.max()),
+            fmt(cm),
+            fmt(cx),
+        ]);
+    }
+    t
+}
+
+// ----------------------------------------------------------------------
+// Table 2 — throughput, sessions, session time, platform efficiency
+// ----------------------------------------------------------------------
+
+/// Table 2: RUBiS throughput results.
+pub fn table2() -> Table {
+    let base = run_rubis(PolicyKind::None, RubisScenario::read_write_mix(24), SEED);
+    let coord = run_rubis(
+        PolicyKind::RequestType,
+        RubisScenario::read_write_mix(24),
+        SEED,
+    );
+    let mut t = Table::new(
+        "Table 2 — RUBiS throughput results",
+        &["Metric", "Base", "coord-ixp-dom0"],
+    );
+    t.row_owned(vec![
+        "Throughput (req/s)".into(),
+        fmt(base.rubis.throughput),
+        fmt(coord.rubis.throughput),
+    ]);
+    t.row_owned(vec![
+        "Sessions completed".into(),
+        base.rubis.sessions.to_string(),
+        coord.rubis.sessions.to_string(),
+    ]);
+    t.row_owned(vec![
+        "Avg session time (s)".into(),
+        fmt(base.rubis.avg_session_secs),
+        fmt(coord.rubis.avg_session_secs),
+    ]);
+    t.row_owned(vec![
+        "Platform efficiency".into(),
+        format!("{:.2}", base.efficiency),
+        format!("{:.2}", coord.efficiency),
+    ]);
+    t.row_owned(vec![
+        "Dropped packets".into(),
+        base.net.guest_drops.to_string(),
+        coord.net.guest_drops.to_string(),
+    ]);
+    t.row_owned(vec![
+        "Coordination msgs".into(),
+        base.coord.messages_sent.to_string(),
+        coord.coord.messages_sent.to_string(),
+    ]);
+    t
+}
+
+// ----------------------------------------------------------------------
+// Figure 5 — per-VM CPU utilization
+// ----------------------------------------------------------------------
+
+/// Figure 5: RUBiS CPU utilization per component (percent of one pCPU),
+/// baseline vs coordinated, with the user/system split of §3.1.
+pub fn fig5() -> Table {
+    let base = run_rubis(PolicyKind::None, RubisScenario::read_write_mix(24), SEED);
+    let coord = run_rubis(
+        PolicyKind::RequestType,
+        RubisScenario::read_write_mix(24),
+        SEED,
+    );
+    let mut t = Table::new(
+        "Figure 5 — RUBiS CPU utilization (% of one pCPU)",
+        &[
+            "Domain",
+            "base",
+            "base usr",
+            "base sys",
+            "coord",
+            "coord usr",
+            "coord sys",
+        ],
+    );
+    for d in &base.cpu {
+        let c = coord.cpu.iter().find(|c| c.name == d.name);
+        let (cp, cu, cs) = c.map(|c| (c.percent, c.user, c.system)).unwrap_or_default();
+        t.row_owned(vec![
+            d.name.clone(),
+            fmt(d.percent),
+            fmt(d.user),
+            fmt(d.system),
+            fmt(cp),
+            fmt(cu),
+            fmt(cs),
+        ]);
+    }
+    t.row_owned(vec![
+        "TOTAL".into(),
+        fmt(base.total_cpu_percent),
+        String::new(),
+        String::new(),
+        fmt(coord.total_cpu_percent),
+        String::new(),
+        String::new(),
+    ]);
+    t
+}
+
+// ----------------------------------------------------------------------
+// Figure 6 — MPlayer video-stream quality of service
+// ----------------------------------------------------------------------
+
+/// Figure 6: achieved frame rates under the paper's three weight
+/// configurations (256-256, 384-512, 384-640 with tandem IXP threads).
+pub fn fig6() -> Table {
+    let mut t = Table::new(
+        "Figure 6 — MPlayer video-stream QoS (frames/s; targets: dom1=20, dom2=25)",
+        &["Weights", "Dom1 fps", "meets", "Dom2 fps", "meets"],
+    );
+    for (label, w1, w2, tandem) in [
+        ("256-256", 256, 256, false),
+        ("384-512", 384, 512, false),
+        ("384-640", 384, 640, true),
+    ] {
+        let scen = MplayerScenario::figure6(w1, w2);
+        let mut sim = PlatformBuilder::new().seed(SEED).build_mplayer(scen);
+        if tandem {
+            // The paper's third configuration also raises the IXP threads
+            // servicing Domain-2's receive queue in tandem.
+            sim.set_flow_threads_by_vm(2, 4);
+        }
+        let r = sim.run(Nanos::from_secs(RUBIS_SECS));
+        let d1 = r.player("dom1").expect("dom1 report");
+        let d2 = r.player("dom2").expect("dom2 report");
+        t.row_owned(vec![
+            label.to_owned(),
+            fmt(d1.achieved_fps),
+            yesno(d1.achieved_fps >= d1.target_fps as f64),
+            fmt(d2.achieved_fps),
+            yesno(d2.achieved_fps >= d2.target_fps as f64),
+        ]);
+    }
+    t
+}
+
+// ----------------------------------------------------------------------
+// Figure 7 — trigger coordination time series
+// ----------------------------------------------------------------------
+
+/// Figure 7: the trigger run's time series — boosted domain CPU
+/// utilization and IXP buffer occupancy, sampled once per second.
+/// Returns (series table, summary table).
+pub fn fig7() -> (Table, Table) {
+    let mut runs = Vec::new();
+    for policy in [PolicyKind::None, PolicyKind::BufferTrigger] {
+        let mut sim = PlatformBuilder::new()
+            .seed(SEED)
+            .policy(policy)
+            .build_mplayer(MplayerScenario::trigger_setup());
+        runs.push(sim.run(Nanos::from_secs(TRIGGER_SECS)));
+    }
+    let (base, coord) = (&runs[0], &runs[1]);
+    let mut series = Table::new(
+        "Figure 7 — boosted domain CPU% and IXP buffer occupancy over time",
+        &["t (s)", "no-coord cpu%", "coord cpu%", "coord buffer (bytes)"],
+    );
+    let pick = |r: &RunReport| {
+        r.cpu_series
+            .iter()
+            .find(|(n, _)| n == "dom1")
+            .map(|(_, s)| s.points().to_vec())
+            .unwrap_or_default()
+    };
+    let coord_cpu = pick(coord);
+    let base_cpu = pick(base);
+    let buffer = coord.buffer_series.points();
+    for (i, (t, v)) in coord_cpu.iter().enumerate() {
+        if i % 10 != 0 {
+            continue; // print every 10th sample; the CSV keeps them all
+        }
+        let b = base_cpu.get(i).map(|&(_, v)| v).unwrap_or(0.0);
+        let buf = buffer.get(i).map(|&(_, v)| v).unwrap_or(0.0);
+        series.row_owned(vec![
+            format!("{:.0}", t.as_secs_f64()),
+            fmt(b),
+            fmt(*v),
+            format!("{buf:.0}"),
+        ]);
+    }
+    let mut summary = Table::new(
+        "Figure 7 — summary",
+        &["Metric", "no-coord", "coord-trigger"],
+    );
+    let fps = |r: &RunReport| r.player("dom1").map(|p| p.achieved_fps).unwrap_or(0.0);
+    summary.row_owned(vec![
+        "Dom1 frames/s".into(),
+        format!("{:.1}", fps(base)),
+        format!("{:.1}", fps(coord)),
+    ]);
+    summary.row_owned(vec![
+        "Triggers applied".into(),
+        base.coord.triggers_applied.to_string(),
+        coord.coord.triggers_applied.to_string(),
+    ]);
+    summary.row_owned(vec![
+        "Mean IXP buffer (bytes)".into(),
+        format!("{:.0}", base.buffer_series.mean()),
+        format!("{:.0}", coord.buffer_series.mean()),
+    ]);
+    summary.row_owned(vec![
+        "Max IXP buffer (bytes)".into(),
+        format!("{:.0}", base.buffer_series.max_value().unwrap_or(0.0)),
+        format!("{:.0}", coord.buffer_series.max_value().unwrap_or(0.0)),
+    ]);
+    (series, summary)
+}
+
+// ----------------------------------------------------------------------
+// Table 3 — trigger interference
+// ----------------------------------------------------------------------
+
+/// Table 3: trigger interference — the boosted network player gains,
+/// the colocated local-disk player pays.
+pub fn table3() -> Table {
+    let mut results = Vec::new();
+    for policy in [PolicyKind::None, PolicyKind::BufferTrigger] {
+        let mut sim = PlatformBuilder::new()
+            .seed(SEED)
+            .policy(policy)
+            .build_mplayer(MplayerScenario::trigger_setup());
+        results.push(sim.run(Nanos::from_secs(TRIGGER_SECS)));
+    }
+    let (base, coord) = (&results[0], &results[1]);
+    let mut t = Table::new(
+        "Table 3 — MPlayer trigger interference (frames/s)",
+        &["Guest Domain", "Baseline", "With Co-ord", "% change"],
+    );
+    for name in ["dom1", "dom2"] {
+        let b = base.player(name).map(|p| p.achieved_fps).unwrap_or(0.0);
+        let c = coord.player(name).map(|p| p.achieved_fps).unwrap_or(0.0);
+        let pct = if b > 0.0 { (c / b - 1.0) * 100.0 } else { 0.0 };
+        t.row_owned(vec![
+            name.to_owned(),
+            format!("{b:.1}"),
+            format!("{c:.1}"),
+            format!("{pct:+.2}"),
+        ]);
+    }
+    t
+}
+
+// ----------------------------------------------------------------------
+// Ablations
+// ----------------------------------------------------------------------
+
+/// A1: coordination-channel latency sweep (PCIe mailbox vs QPI/HTX-class
+/// integration, §3.3 "Hardware considerations").
+pub fn ablation_a1() -> Table {
+    let mut t = Table::new(
+        "A1 — coordination channel latency vs response-time damage",
+        &["one-way latency", "mean (ms)", "sd (ms)", "max (ms)", "drops"],
+    );
+    for us in [1u64, 30, 300, 3_000, 30_000] {
+        let mut sim = PlatformBuilder::new()
+            .seed(SEED)
+            .policy(PolicyKind::RequestType)
+            .coord_latency(Nanos::from_micros(us))
+            .build_rubis(RubisScenario::read_write_mix(24));
+        let r = sim.run(Nanos::from_secs(RUBIS_SECS));
+        let o = r.rubis.responses.overall().clone();
+        t.row_owned(vec![
+            format!("{us} us"),
+            fmt(o.mean()),
+            fmt(o.std_dev()),
+            fmt(o.max()),
+            r.net.guest_drops.to_string(),
+        ]);
+    }
+    t
+}
+
+/// A2: per-request regime switching vs the hysteresis extension the paper
+/// defers to future work.
+pub fn ablation_a2() -> Table {
+    let mut t = Table::new(
+        "A2 — per-request coordination vs hysteresis damping",
+        &["Policy", "X (req/s)", "mean", "sd", "max", "msgs", "drops"],
+    );
+    for (label, policy) in [
+        ("none", PolicyKind::None),
+        ("per-request", PolicyKind::RequestType),
+        ("hysteresis", PolicyKind::RequestTypeHysteresis),
+    ] {
+        let r = run_rubis(policy, RubisScenario::read_write_mix(24), SEED);
+        let o = r.rubis.responses.overall().clone();
+        t.row_owned(vec![
+            label.into(),
+            fmt(r.rubis.throughput),
+            fmt(o.mean()),
+            fmt(o.std_dev()),
+            fmt(o.max()),
+            r.coord.messages_sent.to_string(),
+            r.net.guest_drops.to_string(),
+        ]);
+    }
+    t
+}
+
+/// A3: messaging-driver notification policy — interrupt moderation period
+/// sweep vs Dom0 polling.
+pub fn ablation_a3() -> Table {
+    let mut t = Table::new(
+        "A3 — host notification policy vs response times",
+        &["Notify mode", "mean (ms)", "sd (ms)", "max (ms)"],
+    );
+    let mut modes: Vec<(String, NotifyMode)> = vec![];
+    for us in [20u64, 100, 500, 2_000] {
+        modes.push((
+            format!("irq {us} us"),
+            NotifyMode::Interrupt {
+                period: Nanos::from_micros(us),
+            },
+        ));
+    }
+    for us in [100u64, 1_000] {
+        modes.push((
+            format!("poll {us} us"),
+            NotifyMode::Poll {
+                period: Nanos::from_micros(us),
+            },
+        ));
+    }
+    for (label, mode) in modes {
+        let mut sim = PlatformBuilder::new()
+            .seed(SEED)
+            .policy(PolicyKind::RequestType)
+            .notify_mode(mode)
+            .build_rubis(RubisScenario::read_write_mix(24));
+        let r = sim.run(Nanos::from_secs(RUBIS_SECS));
+        let o = r.rubis.responses.overall().clone();
+        t.row_owned(vec![label, fmt(o.mean()), fmt(o.std_dev()), fmt(o.max())]);
+    }
+    t
+}
+
+/// A4: IXP per-flow dequeue-thread assignment vs delivered throughput
+/// (the §2.1 claim that thread tuning controls per-VM ingress bandwidth).
+pub fn ablation_a4() -> Table {
+    let mut t = Table::new(
+        "A4 — IXP flow threads vs delivered ingress bandwidth",
+        &["threads", "delivered pkts", "fps dom1", "IXP buffer mean (bytes)"],
+    );
+    for threads in [1u32, 2, 4, 8] {
+        let ixp_cfg = ixp::IxpConfig {
+            flow_threads: threads,
+            // Slow per-flow polling exposes the knob: each thread serves
+            // roughly one packet per poll interval, so per-flow bandwidth
+            // ≈ threads / poll.
+            flow_poll: Nanos::from_millis(30),
+            ..ixp::IxpConfig::default()
+        };
+        let mut sim = PlatformBuilder::new()
+            .seed(SEED)
+            .ixp_config(ixp_cfg)
+            .build_mplayer(MplayerScenario::trigger_setup());
+        let r = sim.run(Nanos::from_secs(60));
+        t.row_owned(vec![
+            threads.to_string(),
+            r.net.delivered.to_string(),
+            r.player("dom1")
+                .map(|p| fmt(p.achieved_fps))
+                .unwrap_or_default(),
+            format!("{:.0}", r.buffer_series.mean()),
+        ]);
+    }
+    t
+}
+
+/// A5: trigger rate limiting — the interference/gain trade-off of Table 3.
+pub fn ablation_a5() -> Table {
+    let mut t = Table::new(
+        "A5 — trigger rate limit vs gain and interference",
+        &["max triggers/s", "triggers", "dom1 fps", "dom2 fps"],
+    );
+    for rate in [0.5f64, 2.0, 10.0, 1e9] {
+        let mut sim = PlatformBuilder::new()
+            .seed(SEED)
+            .policy(PolicyKind::BufferTrigger)
+            .trigger_rate_limit(rate)
+            .build_mplayer(MplayerScenario::trigger_setup());
+        let r = sim.run(Nanos::from_secs(TRIGGER_SECS));
+        let label = if rate > 1e6 {
+            "unlimited".into()
+        } else {
+            format!("{rate}")
+        };
+        t.row_owned(vec![
+            label,
+            r.coord.triggers_applied.to_string(),
+            r.player("dom1")
+                .map(|p| fmt(p.achieved_fps))
+                .unwrap_or_default(),
+            r.player("dom2")
+                .map(|p| fmt(p.achieved_fps))
+                .unwrap_or_default(),
+        ]);
+    }
+    t
+}
+
+/// A6: credit-accounting fidelity — precise consumption-based debits vs
+/// Xen 3.x's tick-sampled debits (which deterministic sub-tick workloads
+/// dodge). Shows how much of the coordination story depends on the
+/// accounting substrate.
+pub fn ablation_a6() -> Table {
+    let mut t = Table::new(
+        "A6 — credit accounting mode vs RUBiS outcomes",
+        &["Accounting", "Policy", "X (req/s)", "mean (ms)", "sd (ms)", "drops"],
+    );
+    for (acct_label, precise) in [("precise", true), ("tick-sampled", false)] {
+        for (pol_label, policy) in [("none", PolicyKind::None), ("coord", PolicyKind::RequestType)]
+        {
+            let mut sim = PlatformBuilder::new()
+                .seed(SEED)
+                .policy(policy)
+                .precise_accounting(precise)
+                .build_rubis(RubisScenario::read_write_mix(24));
+            let r = sim.run(Nanos::from_secs(RUBIS_SECS));
+            let o = r.rubis.responses.overall().clone();
+            t.row_owned(vec![
+                acct_label.into(),
+                pol_label.into(),
+                fmt(r.rubis.throughput),
+                fmt(o.mean()),
+                fmt(o.std_dev()),
+                r.net.guest_drops.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// P1 (extension, paper §1 use case 2 + §5): platform-level power capping
+/// under the two victim strategies. At the same watt budget, the
+/// application-aware priority order (cap the elastic Dom0 background load
+/// first) preserves stream QoS, while per-tile biggest-consumer capping
+/// destroys the high-rate stream's frame rate — and, because the elastic
+/// background absorbs the freed cycles, saves almost no power.
+pub fn extension_p1() -> Table {
+    use platform::PowerStrategy;
+    let mut t = Table::new(
+        "P1 — platform power capping: coordinated vs per-tile victim choice",
+        &["Config", "mean W", "max W", "dom1 fps", "dom2 fps", "cap actions"],
+    );
+    let mut run = |label: &str, cap: Option<(f64, PowerStrategy)>| {
+        let mut b = PlatformBuilder::new().seed(SEED);
+        if let Some((w, s)) = cap {
+            b = b.power_cap(w, s);
+        }
+        let mut sim = b.build_mplayer(MplayerScenario::figure6(384, 512));
+        let r = sim.run(Nanos::from_secs(120));
+        t.row_owned(vec![
+            label.into(),
+            format!("{:.1}", r.power.mean_watts),
+            format!("{:.1}", r.power.max_watts),
+            r.player("dom1").map(|p| fmt(p.achieved_fps)).unwrap_or_default(),
+            r.player("dom2").map(|p| fmt(p.achieved_fps)).unwrap_or_default(),
+            r.power.cap_actions.to_string(),
+        ]);
+    };
+    run("uncapped", None);
+    run(
+        "cap 105W, biggest-consumer",
+        Some((105.0, PowerStrategy::BiggestConsumer)),
+    );
+    run(
+        "cap 105W, coordinated priority",
+        Some((105.0, PowerStrategy::Priority(vec!["dom0".into(), "dom1".into(), "dom2".into()]))),
+    );
+    run(
+        "cap 100W, biggest-consumer",
+        Some((100.0, PowerStrategy::BiggestConsumer)),
+    );
+    run(
+        "cap 100W, coordinated priority",
+        Some((100.0, PowerStrategy::Priority(vec!["dom0".into(), "dom1".into(), "dom2".into()]))),
+    );
+    t
+}
+
+/// S1 (extension, paper §5): coordination-fabric scalability — a single
+/// global controller vs the two-level zone fabric, at increasing island
+/// counts and 90%-local traffic.
+pub fn extension_s1() -> Table {
+    use coord::hierarchy::{HierarchicalController, ZoneId};
+    use coord::{CoordMsg, EntityId, IslandId, IslandKind};
+    let mut t = Table::new(
+        "S1 — coordination fabric scalability (100k tunes, 90% zone-local)",
+        &["zones", "islands", "root lookups", "max zone load", "centralized load"],
+    );
+    for zones in [1u16, 2, 4, 8, 16] {
+        let islands_per_zone = 4u16;
+        let entities_per_island = 8u32;
+        let mut h = HierarchicalController::new(zones);
+        let mut all_entities: Vec<(ZoneId, EntityId)> = Vec::new();
+        for z in 0..zones {
+            for i in 0..islands_per_zone {
+                let island = IslandId(z * islands_per_zone + i);
+                h.register_island(ZoneId(z), island, IslandKind::GeneralPurpose);
+                for e in 0..entities_per_island {
+                    let entity =
+                        EntityId((island.0 as u32) * entities_per_island + e);
+                    h.register_entity(ZoneId(z), entity, island, e as u64);
+                    all_entities.push((ZoneId(z), entity));
+                }
+            }
+        }
+        let mut rng = simcore::SimRng::new(SEED);
+        let n_msgs = 100_000u32;
+        for i in 0..n_msgs {
+            let origin = ZoneId((i % zones as u32) as u16);
+            // 90% of traffic targets entities in the origin zone (with a
+            // single zone everything is local by construction).
+            let local = zones == 1 || rng.chance(0.9);
+            let (_, entity) = loop {
+                let pick = all_entities[rng.below(all_entities.len() as u64) as usize];
+                if (pick.0 == origin) == local {
+                    break pick;
+                }
+            };
+            h.handle(
+                Nanos::ZERO,
+                origin,
+                CoordMsg::Tune { entity, delta: 1, target: None },
+            );
+        }
+        let max_zone_load = (0..zones)
+            .map(|z| {
+                let l = h.load(ZoneId(z));
+                l.local + l.remote_in
+            })
+            .max()
+            .unwrap_or(0);
+        t.row_owned(vec![
+            zones.to_string(),
+            (zones * islands_per_zone).to_string(),
+            h.root_lookups().to_string(),
+            max_zone_load.to_string(),
+            n_msgs.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Coordination overhead counters from a coordinated RUBiS run.
+pub fn coordination_overhead() -> Table {
+    let r = run_rubis(
+        PolicyKind::RequestType,
+        RubisScenario::read_write_mix(24),
+        SEED,
+    );
+    let mut t = Table::new(
+        "Coordination overhead (60 s coordinated RUBiS run)",
+        &["Metric", "Value"],
+    );
+    t.row_owned(vec![
+        "Messages sent".into(),
+        r.coord.messages_sent.to_string(),
+    ]);
+    t.row_owned(vec!["Wire bytes".into(), r.coord.bytes_sent.to_string()]);
+    t.row_owned(vec![
+        "Tunes applied".into(),
+        r.coord.tunes_applied.to_string(),
+    ]);
+    t.row_owned(vec![
+        "Msgs per request".into(),
+        format!(
+            "{:.2}",
+            r.coord.messages_sent as f64 / r.rubis.completed.max(1) as f64
+        ),
+    ]);
+    t
+}
+
+/// Everything, in paper order. Returns `(slug, table)` pairs; slugs name
+/// the CSV files.
+pub fn all_experiments() -> Vec<(String, Table)> {
+    let mut out: Vec<(String, Table)> = vec![
+        ("fig2".into(), fig2()),
+        ("table1".into(), table1()),
+        ("fig4".into(), fig4()),
+        ("fig4_browsing".into(), fig4_browsing()),
+        ("table2".into(), table2()),
+        ("fig5".into(), fig5()),
+        ("fig6".into(), fig6()),
+    ];
+    let (series, summary) = fig7();
+    out.push(("fig7_series".into(), series));
+    out.push(("fig7_summary".into(), summary));
+    out.push(("table3".into(), table3()));
+    out.push(("a1_channel_latency".into(), ablation_a1()));
+    out.push(("a2_hysteresis".into(), ablation_a2()));
+    out.push(("a3_notification".into(), ablation_a3()));
+    out.push(("a4_ixp_threads".into(), ablation_a4()));
+    out.push(("a5_trigger_rate".into(), ablation_a5()));
+    out.push(("a6_accounting_mode".into(), ablation_a6()));
+    out.push(("p1_power_capping".into(), extension_p1()));
+    out.push(("s1_fabric_scalability".into(), extension_s1()));
+    out.push(("overhead".into(), coordination_overhead()));
+    out
+}

@@ -1,0 +1,67 @@
+//! Error type for the coordination layer.
+
+use crate::{EntityId, IslandId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by coordination operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoordError {
+    /// The entity is not registered anywhere.
+    UnknownEntity(EntityId),
+    /// The island has not registered with the controller.
+    UnknownIsland(IslandId),
+    /// The entity has no binding on the named island.
+    NotMapped {
+        /// Entity being resolved.
+        entity: EntityId,
+        /// Island it was resolved against.
+        island: IslandId,
+    },
+    /// A conflicting registration already exists.
+    DuplicateBinding {
+        /// Entity being bound.
+        entity: EntityId,
+        /// Island the binding targeted.
+        island: IslandId,
+    },
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordError::UnknownEntity(e) => write!(f, "unknown {e}"),
+            CoordError::UnknownIsland(i) => write!(f, "unregistered {i}"),
+            CoordError::NotMapped { entity, island } => {
+                write!(f, "{entity} has no binding on {island}")
+            }
+            CoordError::DuplicateBinding { entity, island } => {
+                write!(f, "conflicting binding for {entity} on {island}")
+            }
+        }
+    }
+}
+
+impl Error for CoordError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(
+            CoordError::UnknownEntity(EntityId(1)).to_string(),
+            "unknown entity1"
+        );
+        assert_eq!(
+            CoordError::NotMapped {
+                entity: EntityId(1),
+                island: IslandId(2)
+            }
+            .to_string(),
+            "entity1 has no binding on island2"
+        );
+    }
+}

@@ -1,0 +1,272 @@
+//! Distributed coordination across many islands (the paper's §5 ongoing
+//! work: "evaluations of the scalability of such mechanisms to large-scale
+//! multicore platforms, part of which involve the use of distributed
+//! coordination algorithms across multiple island resource managers").
+//!
+//! A single global controller serializes every Tune/Trigger through one
+//! point. [`HierarchicalController`] shards the registry instead: each
+//! *zone* controller owns a subset of islands and resolves messages for
+//! entities bound in its zone locally; only messages whose target lives in
+//! another zone are forwarded through the root directory, which maps
+//! entities to zones. Locality in the workload then translates directly
+//! into load taken off the root — the scalability experiment S1 measures
+//! exactly that.
+
+use crate::{Action, Controller, CoordMsg, EntityId, IslandId};
+use simcore::Nanos;
+use std::collections::BTreeMap;
+
+/// A zone identifier (one per zone controller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ZoneId(pub u16);
+
+/// Where a message was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Handled entirely within the origin zone.
+    Local,
+    /// Forwarded through the root directory to another zone.
+    Forwarded {
+        /// Zone that ultimately resolved the message.
+        to: ZoneId,
+    },
+    /// No zone knows the entity (or the message was a registration).
+    None,
+}
+
+/// Per-controller load counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZoneLoad {
+    /// Messages this zone resolved for its own islands.
+    pub local: u64,
+    /// Messages this zone resolved on behalf of another zone.
+    pub remote_in: u64,
+    /// Messages this zone originated that had to be forwarded.
+    pub forwarded_out: u64,
+}
+
+/// A two-level coordination fabric: zone controllers plus a root entity
+/// directory.
+///
+/// # Example
+///
+/// ```
+/// use coord::hierarchy::{HierarchicalController, ZoneId};
+/// use coord::{CoordMsg, EntityId, IslandId, IslandKind};
+/// use simcore::Nanos;
+///
+/// let mut h = HierarchicalController::new(2);
+/// h.register_island(ZoneId(0), IslandId(0), IslandKind::GeneralPurpose);
+/// h.register_entity(ZoneId(0), EntityId(1), IslandId(0), 1);
+/// // A tune originating in zone 1 for an entity owned by zone 0 is
+/// // forwarded through the root.
+/// let (actions, res) = h.handle(
+///     Nanos::ZERO,
+///     ZoneId(1),
+///     CoordMsg::Tune { entity: EntityId(1), delta: 64, target: None },
+/// );
+/// assert_eq!(actions.len(), 1);
+/// assert_eq!(res, coord::hierarchy::Resolution::Forwarded { to: ZoneId(0) });
+/// ```
+#[derive(Debug)]
+pub struct HierarchicalController {
+    zones: Vec<Controller>,
+    loads: Vec<ZoneLoad>,
+    /// Root directory: entity → owning zone.
+    directory: BTreeMap<EntityId, ZoneId>,
+    /// Root directory: island → owning zone.
+    island_zone: BTreeMap<IslandId, ZoneId>,
+    root_lookups: u64,
+}
+
+impl HierarchicalController {
+    /// Creates a fabric with `zones` empty zone controllers.
+    ///
+    /// # Panics
+    /// Panics if `zones == 0`.
+    pub fn new(zones: u16) -> Self {
+        assert!(zones > 0, "need at least one zone");
+        HierarchicalController {
+            zones: (0..zones).map(|_| Controller::new()).collect(),
+            loads: vec![ZoneLoad::default(); zones as usize],
+            directory: BTreeMap::new(),
+            island_zone: BTreeMap::new(),
+            root_lookups: 0,
+        }
+    }
+
+    /// Registers an island under a zone.
+    pub fn register_island(
+        &mut self,
+        zone: ZoneId,
+        island: IslandId,
+        kind: crate::IslandKind,
+    ) {
+        self.island_zone.insert(island, zone);
+        self.zones[zone.0 as usize].handle(
+            Nanos::ZERO,
+            CoordMsg::RegisterIsland { island, kind },
+        );
+    }
+
+    /// Registers an entity binding; the entity is owned by the island's
+    /// zone and advertised in the root directory.
+    pub fn register_entity(
+        &mut self,
+        zone: ZoneId,
+        entity: EntityId,
+        island: IslandId,
+        local_key: u64,
+    ) {
+        self.directory.insert(entity, zone);
+        self.zones[zone.0 as usize].handle(
+            Nanos::ZERO,
+            CoordMsg::RegisterEntity { entity, island, local_key },
+        );
+    }
+
+    /// Handles a runtime coordination message originating in `origin`.
+    /// Returns the resolved actions and where resolution happened.
+    pub fn handle(
+        &mut self,
+        now: Nanos,
+        origin: ZoneId,
+        msg: CoordMsg,
+    ) -> (Vec<Action>, Resolution) {
+        let Some(entity) = msg.entity() else {
+            // Registrations go through the typed APIs; acks are no-ops.
+            return (Vec::new(), Resolution::None);
+        };
+        let owner = match self.directory.get(&entity) {
+            Some(z) => *z,
+            None => {
+                // Unknown everywhere: charge the origin's rejection count.
+                self.zones[origin.0 as usize].handle(now, msg);
+                return (Vec::new(), Resolution::None);
+            }
+        };
+        if owner == origin {
+            self.loads[origin.0 as usize].local += 1;
+            let actions = self.zones[origin.0 as usize].handle(now, msg);
+            (actions, Resolution::Local)
+        } else {
+            // Root directory lookup + forward to the owning zone.
+            self.root_lookups += 1;
+            self.loads[origin.0 as usize].forwarded_out += 1;
+            self.loads[owner.0 as usize].remote_in += 1;
+            let actions = self.zones[owner.0 as usize].handle(now, msg);
+            (actions, Resolution::Forwarded { to: owner })
+        }
+    }
+
+    /// Load counters for a zone.
+    pub fn load(&self, zone: ZoneId) -> ZoneLoad {
+        self.loads[zone.0 as usize]
+    }
+
+    /// Root-directory lookups performed (the centralization pressure).
+    pub fn root_lookups(&self) -> u64 {
+        self.root_lookups
+    }
+
+    /// Number of zones.
+    pub fn zones(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Read access to a zone controller (diagnostics).
+    pub fn zone(&self, zone: ZoneId) -> &Controller {
+        &self.zones[zone.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IslandKind;
+
+    fn fabric() -> HierarchicalController {
+        let mut h = HierarchicalController::new(4);
+        for z in 0..4u16 {
+            let island = IslandId(z);
+            h.register_island(ZoneId(z), island, IslandKind::GeneralPurpose);
+            // Entities 10z..10z+9 live in zone z.
+            for e in 0..10u32 {
+                h.register_entity(ZoneId(z), EntityId(z as u32 * 10 + e), island, e as u64);
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn local_messages_stay_local() {
+        let mut h = fabric();
+        let (actions, res) = h.handle(
+            Nanos::ZERO,
+            ZoneId(2),
+            CoordMsg::Tune { entity: EntityId(25), delta: 64, target: None },
+        );
+        assert_eq!(actions.len(), 1);
+        assert_eq!(res, Resolution::Local);
+        assert_eq!(h.load(ZoneId(2)).local, 1);
+        assert_eq!(h.root_lookups(), 0);
+    }
+
+    #[test]
+    fn cross_zone_messages_forward_through_root() {
+        let mut h = fabric();
+        let (actions, res) = h.handle(
+            Nanos::ZERO,
+            ZoneId(0),
+            CoordMsg::Trigger { entity: EntityId(31), target: None },
+        );
+        assert_eq!(actions.len(), 1);
+        assert_eq!(res, Resolution::Forwarded { to: ZoneId(3) });
+        assert_eq!(h.load(ZoneId(0)).forwarded_out, 1);
+        assert_eq!(h.load(ZoneId(3)).remote_in, 1);
+        assert_eq!(h.root_lookups(), 1);
+    }
+
+    #[test]
+    fn unknown_entities_rejected_at_origin() {
+        let mut h = fabric();
+        let (actions, res) = h.handle(
+            Nanos::ZERO,
+            ZoneId(1),
+            CoordMsg::Tune { entity: EntityId(999), delta: 1, target: None },
+        );
+        assert!(actions.is_empty());
+        assert_eq!(res, Resolution::None);
+        assert_eq!(h.zone(ZoneId(1)).stats().rejected, 1);
+    }
+
+    #[test]
+    fn locality_reduces_root_pressure() {
+        let mut h = fabric();
+        // 90% local traffic, 10% cross-zone.
+        for i in 0..100u32 {
+            let origin = ZoneId((i % 4) as u16);
+            let entity = if i % 10 == 0 {
+                EntityId(((i + 1) % 4) * 10) // someone else's entity
+            } else {
+                EntityId(origin.0 as u32 * 10 + (i % 10))
+            };
+            h.handle(
+                Nanos::ZERO,
+                origin,
+                CoordMsg::Tune { entity, delta: 1, target: None },
+            );
+        }
+        assert_eq!(h.root_lookups(), 10);
+        let total_local: u64 = (0..4).map(|z| h.load(ZoneId(z)).local).sum();
+        assert_eq!(total_local, 90);
+    }
+
+    #[test]
+    fn acks_are_noops() {
+        let mut h = fabric();
+        let (a, r) = h.handle(Nanos::ZERO, ZoneId(0), CoordMsg::Ack { seq: 7 });
+        assert!(a.is_empty());
+        assert_eq!(r, Resolution::None);
+    }
+}

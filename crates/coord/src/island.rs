@@ -1,0 +1,117 @@
+//! Scheduling islands and the resource-manager abstraction.
+
+use crate::{CoordError, EntityId};
+use simcore::Nanos;
+use std::fmt;
+
+/// Identifies a scheduling island — a set of resources under the control
+/// of a single resource manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IslandId(pub u16);
+
+impl fmt::Display for IslandId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "island{}", self.0)
+    }
+}
+
+/// What kind of resources an island manages (drives how Tune deltas are
+/// interpreted and which policies make sense there).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum IslandKind {
+    /// General-purpose cores (x86 under a hypervisor in the prototype).
+    GeneralPurpose,
+    /// Specialised communication cores (the IXP network processor).
+    NetworkProcessor,
+    /// Compute accelerator (GPU-like; future work in the paper).
+    Accelerator,
+    /// Storage-focused island.
+    Storage,
+}
+
+/// The interface an island's resource manager exposes to the coordination
+/// layer: the two mechanisms of §3.3, in the island's own vocabulary.
+///
+/// Implementations translate the neutral `(entity, delta)` pairs into
+/// whatever their scheduler understands — credit weights for Xen,
+/// dequeue-thread counts or poll intervals for the IXP runtime, poll-time
+/// adjustments for an I/O scheduler, and so on.
+pub trait ResourceManager {
+    /// This island's identity.
+    fn island(&self) -> IslandId;
+
+    /// The kind of resources managed.
+    fn kind(&self) -> IslandKind;
+
+    /// Applies a fine-grained resource adjustment for `entity`.
+    ///
+    /// # Errors
+    /// Implementations return [`CoordError`] when the entity is unknown to
+    /// this island.
+    fn apply_tune(&mut self, now: Nanos, entity: EntityId, delta: i32) -> Result<(), CoordError>;
+
+    /// Applies an immediate resource-allocation request (preemptive
+    /// semantics) for `entity`.
+    ///
+    /// # Errors
+    /// Implementations return [`CoordError`] when the entity is unknown to
+    /// this island.
+    fn apply_trigger(&mut self, now: Nanos, entity: EntityId) -> Result<(), CoordError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy manager proving the trait is object-safe and usable.
+    struct Recorder {
+        id: IslandId,
+        tunes: Vec<(EntityId, i32)>,
+        triggers: Vec<EntityId>,
+    }
+
+    impl ResourceManager for Recorder {
+        fn island(&self) -> IslandId {
+            self.id
+        }
+        fn kind(&self) -> IslandKind {
+            IslandKind::GeneralPurpose
+        }
+        fn apply_tune(
+            &mut self,
+            _now: Nanos,
+            entity: EntityId,
+            delta: i32,
+        ) -> Result<(), CoordError> {
+            self.tunes.push((entity, delta));
+            Ok(())
+        }
+        fn apply_trigger(&mut self, _now: Nanos, entity: EntityId) -> Result<(), CoordError> {
+            self.triggers.push(entity);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut r = Recorder {
+            id: IslandId(3),
+            tunes: vec![],
+            triggers: vec![],
+        };
+        let m: &mut dyn ResourceManager = &mut r;
+        assert_eq!(m.island(), IslandId(3));
+        assert_eq!(m.kind(), IslandKind::GeneralPurpose);
+        m.apply_tune(Nanos::ZERO, EntityId(1), -5).unwrap();
+        m.apply_trigger(Nanos::ZERO, EntityId(2)).unwrap();
+        assert_eq!(r.tunes, vec![(EntityId(1), -5)]);
+        assert_eq!(r.triggers, vec![EntityId(2)]);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(IslandId(2).to_string(), "island2");
+        assert_eq!(EntityId(4).to_string(), "entity4");
+    }
+}

@@ -1,0 +1,213 @@
+//! Coordination-traffic rate limiting.
+//!
+//! Triggers are preemptive and therefore disruptive to colocated entities
+//! (Table 3 measures the interference). A token bucket bounds how often a
+//! policy may fire them; ablation A5 sweeps the rate.
+
+use simcore::Nanos;
+
+/// A token bucket: `rate` tokens per second, holding at most `burst`.
+///
+/// # Example
+///
+/// ```
+/// use coord::TokenBucket;
+/// use simcore::Nanos;
+///
+/// let mut b = TokenBucket::new(10.0, 1.0); // 10/s, no burst capacity
+/// assert!(b.try_take(Nanos::ZERO));
+/// assert!(!b.try_take(Nanos::from_millis(50)));  // refills at 100 ms
+/// assert!(b.try_take(Nanos::from_millis(100)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    burst: f64,
+    tokens: f64,
+    last: Nanos,
+}
+
+impl TokenBucket {
+    /// Creates a full bucket.
+    ///
+    /// # Panics
+    /// Panics if `rate_per_sec` or `burst` is not positive.
+    pub fn new(rate_per_sec: f64, burst: f64) -> Self {
+        assert!(rate_per_sec > 0.0 && burst > 0.0, "rate and burst must be positive");
+        TokenBucket {
+            rate_per_sec,
+            burst,
+            tokens: burst,
+            last: Nanos::ZERO,
+        }
+    }
+
+    /// An effectively unlimited bucket.
+    pub fn unlimited() -> Self {
+        TokenBucket::new(1e12, 1e12)
+    }
+
+    /// Takes one token if available. Time must be non-decreasing.
+    pub fn try_take(&mut self, now: Nanos) -> bool {
+        let dt = now.saturating_sub(self.last).as_secs_f64();
+        self.last = self.last.max(now);
+        self.tokens = (self.tokens + dt * self.rate_per_sec).min(self.burst);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (diagnostics).
+    pub fn available(&self) -> f64 {
+        self.tokens
+    }
+}
+
+/// Detects read↔write regime oscillation in a coordination stream.
+///
+/// §3.1 attributes the occasional mis-application of coordination to
+/// "frequent transitions amongst read and write requests" the prototype
+/// does not recognise. The detector counts regime flips over a sliding
+/// window; policies (or operators) can consult
+/// [`is_oscillating`](Self::is_oscillating) to switch into a damped mode.
+///
+/// # Example
+///
+/// ```
+/// use coord::OscillationDetector;
+/// use simcore::Nanos;
+///
+/// let mut d = OscillationDetector::new(Nanos::from_secs(1), 4);
+/// for i in 0..6 {
+///     d.observe(Nanos::from_millis(i * 50), i % 2 == 0);
+/// }
+/// assert!(d.is_oscillating());
+/// ```
+#[derive(Debug, Clone)]
+pub struct OscillationDetector {
+    window: Nanos,
+    threshold: u32,
+    last_class: Option<bool>,
+    flips: std::collections::VecDeque<Nanos>,
+}
+
+impl OscillationDetector {
+    /// Creates a detector that reports oscillation when more than
+    /// `threshold` regime flips land inside `window`.
+    pub fn new(window: Nanos, threshold: u32) -> Self {
+        OscillationDetector {
+            window,
+            threshold,
+            last_class: None,
+            flips: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Feeds one classified request (`write` = its class). Returns the
+    /// number of flips currently inside the window.
+    pub fn observe(&mut self, now: Nanos, write: bool) -> u32 {
+        if let Some(last) = self.last_class {
+            if last != write {
+                self.flips.push_back(now);
+            }
+        }
+        self.last_class = Some(write);
+        while let Some(&front) = self.flips.front() {
+            if front + self.window < now {
+                self.flips.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.flips.len() as u32
+    }
+
+    /// `true` while the flip rate exceeds the configured threshold.
+    pub fn is_oscillating(&self) -> bool {
+        self.flips.len() as u32 > self.threshold
+    }
+
+    /// Flips currently inside the window.
+    pub fn flips_in_window(&self) -> u32 {
+        self.flips.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oscillation_detected_and_decays() {
+        let mut d = OscillationDetector::new(Nanos::from_secs(1), 3);
+        // Alternating classes every 100 ms: flips pile up.
+        for i in 0..10u64 {
+            d.observe(Nanos::from_millis(i * 100), i % 2 == 0);
+        }
+        assert!(d.is_oscillating());
+        // A long steady run lets the window drain (the transition into
+        // the steady phase is itself the final flip, then nothing).
+        for i in 0..15u64 {
+            d.observe(Nanos::from_secs(5) + Nanos::from_millis(i * 100), true);
+        }
+        assert!(!d.is_oscillating());
+        assert_eq!(d.flips_in_window(), 0);
+    }
+
+    #[test]
+    fn steady_stream_never_oscillates() {
+        let mut d = OscillationDetector::new(Nanos::from_secs(1), 0);
+        for i in 0..100u64 {
+            assert_eq!(d.observe(Nanos::from_millis(i * 10), true), 0);
+        }
+        assert!(!d.is_oscillating());
+    }
+
+    #[test]
+    fn single_flip_counts_once() {
+        let mut d = OscillationDetector::new(Nanos::from_secs(10), 1);
+        d.observe(Nanos::from_millis(0), false);
+        assert_eq!(d.observe(Nanos::from_millis(1), true), 1);
+        assert!(!d.is_oscillating(), "one flip is within threshold");
+    }
+
+    #[test]
+    fn burst_then_throttle() {
+        let mut b = TokenBucket::new(1.0, 3.0);
+        assert!(b.try_take(Nanos::ZERO));
+        assert!(b.try_take(Nanos::ZERO));
+        assert!(b.try_take(Nanos::ZERO));
+        assert!(!b.try_take(Nanos::ZERO));
+        // One second refills one token.
+        assert!(b.try_take(Nanos::from_secs(1)));
+        assert!(!b.try_take(Nanos::from_secs(1)));
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut b = TokenBucket::new(100.0, 2.0);
+        assert!(b.try_take(Nanos::ZERO));
+        // A long quiet period cannot bank more than `burst`.
+        let t = Nanos::from_secs(100);
+        assert!(b.try_take(t));
+        assert!(b.try_take(t));
+        assert!(!b.try_take(t));
+    }
+
+    #[test]
+    fn unlimited_never_throttles() {
+        let mut b = TokenBucket::unlimited();
+        for _ in 0..10_000 {
+            assert!(b.try_take(Nanos::ZERO));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_panics() {
+        let _ = TokenBucket::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Compact binary codec for [`CoordMsg`].
+//!
+//! Coordination messages ride a PCI config-space mailbox in the prototype
+//! and would ride hardware signalling channels on future platforms (§3.3),
+//! so they must be tiny and self-delimiting: one tag byte followed by
+//! fixed-width little-endian fields. A `Tune` is 11 bytes.
+
+use crate::{CoordMsg, EntityId, IslandId, IslandKind};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The buffer ended before the message did.
+    Truncated,
+    /// The tag byte does not name a message.
+    BadTag(u8),
+    /// The island-kind byte is invalid.
+    BadKind(u8),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "truncated message"),
+            CodecError::BadTag(t) => write!(f, "unknown message tag {t:#x}"),
+            CodecError::BadKind(k) => write!(f, "unknown island kind {k:#x}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+const TAG_REG_ISLAND: u8 = 1;
+const TAG_REG_ENTITY: u8 = 2;
+const TAG_TUNE: u8 = 3;
+const TAG_TRIGGER: u8 = 4;
+const TAG_ACK: u8 = 5;
+
+/// Sentinel for an unaddressed (broadcast) target.
+const TARGET_NONE: u16 = u16::MAX;
+
+fn target_to_u16(t: Option<IslandId>) -> u16 {
+    t.map_or(TARGET_NONE, |i| i.0)
+}
+
+fn target_from_u16(v: u16) -> Option<IslandId> {
+    (v != TARGET_NONE).then_some(IslandId(v))
+}
+
+fn kind_to_byte(k: IslandKind) -> u8 {
+    match k {
+        IslandKind::GeneralPurpose => 0,
+        IslandKind::NetworkProcessor => 1,
+        IslandKind::Accelerator => 2,
+        IslandKind::Storage => 3,
+    }
+}
+
+fn kind_from_byte(b: u8) -> Result<IslandKind, CodecError> {
+    Ok(match b {
+        0 => IslandKind::GeneralPurpose,
+        1 => IslandKind::NetworkProcessor,
+        2 => IslandKind::Accelerator,
+        3 => IslandKind::Storage,
+        other => return Err(CodecError::BadKind(other)),
+    })
+}
+
+/// Appends the encoding of `msg` to `buf` and returns the encoded length.
+pub fn encode(msg: &CoordMsg, buf: &mut Vec<u8>) -> usize {
+    let start = buf.len();
+    match *msg {
+        CoordMsg::RegisterIsland { island, kind } => {
+            buf.push(TAG_REG_ISLAND);
+            buf.extend_from_slice(&island.0.to_le_bytes());
+            buf.push(kind_to_byte(kind));
+        }
+        CoordMsg::RegisterEntity {
+            entity,
+            island,
+            local_key,
+        } => {
+            buf.push(TAG_REG_ENTITY);
+            buf.extend_from_slice(&entity.0.to_le_bytes());
+            buf.extend_from_slice(&island.0.to_le_bytes());
+            buf.extend_from_slice(&local_key.to_le_bytes());
+        }
+        CoordMsg::Tune { entity, delta, target } => {
+            buf.push(TAG_TUNE);
+            buf.extend_from_slice(&entity.0.to_le_bytes());
+            buf.extend_from_slice(&delta.to_le_bytes());
+            buf.extend_from_slice(&target_to_u16(target).to_le_bytes());
+        }
+        CoordMsg::Trigger { entity, target } => {
+            buf.push(TAG_TRIGGER);
+            buf.extend_from_slice(&entity.0.to_le_bytes());
+            buf.extend_from_slice(&target_to_u16(target).to_le_bytes());
+        }
+        CoordMsg::Ack { seq } => {
+            buf.push(TAG_ACK);
+            buf.extend_from_slice(&seq.to_le_bytes());
+        }
+    }
+    buf.len() - start
+}
+
+/// Decodes one message from the front of `buf`, returning it and the
+/// number of bytes consumed.
+///
+/// # Errors
+/// Returns [`CodecError`] on truncation or unknown tags.
+pub fn decode(buf: &[u8]) -> Result<(CoordMsg, usize), CodecError> {
+    let tag = *buf.first().ok_or(CodecError::Truncated)?;
+    let rest = &buf[1..];
+    let take = |n: usize| -> Result<&[u8], CodecError> {
+        rest.get(..n).ok_or(CodecError::Truncated)
+    };
+    match tag {
+        TAG_REG_ISLAND => {
+            let b = take(3)?;
+            let island = IslandId(u16::from_le_bytes([b[0], b[1]]));
+            let kind = kind_from_byte(b[2])?;
+            Ok((CoordMsg::RegisterIsland { island, kind }, 4))
+        }
+        TAG_REG_ENTITY => {
+            let b = take(14)?;
+            let entity = EntityId(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+            let island = IslandId(u16::from_le_bytes([b[4], b[5]]));
+            let local_key = u64::from_le_bytes(b[6..14].try_into().expect("8 bytes"));
+            Ok((
+                CoordMsg::RegisterEntity {
+                    entity,
+                    island,
+                    local_key,
+                },
+                15,
+            ))
+        }
+        TAG_TUNE => {
+            let b = take(10)?;
+            let entity = EntityId(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+            let delta = i32::from_le_bytes([b[4], b[5], b[6], b[7]]);
+            let target = target_from_u16(u16::from_le_bytes([b[8], b[9]]));
+            Ok((CoordMsg::Tune { entity, delta, target }, 11))
+        }
+        TAG_TRIGGER => {
+            let b = take(6)?;
+            let entity = EntityId(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+            let target = target_from_u16(u16::from_le_bytes([b[4], b[5]]));
+            Ok((CoordMsg::Trigger { entity, target }, 7))
+        }
+        TAG_ACK => {
+            let b = take(4)?;
+            let seq = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+            Ok((CoordMsg::Ack { seq }, 5))
+        }
+        other => Err(CodecError::BadTag(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: CoordMsg) {
+        let mut buf = Vec::new();
+        let n = encode(&msg, &mut buf);
+        assert_eq!(n, buf.len());
+        let (decoded, consumed) = decode(&buf).unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(consumed, n);
+    }
+
+    #[test]
+    fn roundtrips_every_variant() {
+        roundtrip(CoordMsg::RegisterIsland {
+            island: IslandId(7),
+            kind: IslandKind::NetworkProcessor,
+        });
+        roundtrip(CoordMsg::RegisterEntity {
+            entity: EntityId(0xDEAD_BEEF),
+            island: IslandId(u16::MAX),
+            local_key: u64::MAX,
+        });
+        roundtrip(CoordMsg::Tune {
+            entity: EntityId(3),
+            delta: -12345,
+            target: Some(IslandId(2)),
+        });
+        roundtrip(CoordMsg::Tune {
+            entity: EntityId(3),
+            delta: 64,
+            target: None,
+        });
+        roundtrip(CoordMsg::Trigger { entity: EntityId(0), target: None });
+        roundtrip(CoordMsg::Trigger { entity: EntityId(0), target: Some(IslandId(0)) });
+        roundtrip(CoordMsg::Ack { seq: 42 });
+    }
+
+    #[test]
+    fn tune_is_eleven_bytes() {
+        let mut buf = Vec::new();
+        let n = encode(
+            &CoordMsg::Tune {
+                entity: EntityId(1),
+                delta: 64,
+                target: None,
+            },
+            &mut buf,
+        );
+        assert_eq!(n, 11);
+    }
+
+    #[test]
+    fn stream_of_messages_decodes_sequentially() {
+        let msgs = [
+            CoordMsg::Tune { entity: EntityId(1), delta: 64, target: None },
+            CoordMsg::Trigger { entity: EntityId(2), target: Some(IslandId(1)) },
+            CoordMsg::Ack { seq: 9 },
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            encode(m, &mut buf);
+        }
+        let mut off = 0;
+        for m in &msgs {
+            let (d, n) = decode(&buf[off..]).unwrap();
+            assert_eq!(d, *m);
+            off += n;
+        }
+        assert_eq!(off, buf.len());
+    }
+
+    #[test]
+    fn truncated_and_bad_tags_error() {
+        assert_eq!(decode(&[]), Err(CodecError::Truncated));
+        assert_eq!(decode(&[TAG_TUNE, 1, 2]), Err(CodecError::Truncated));
+        assert_eq!(decode(&[0xFF]), Err(CodecError::BadTag(0xFF)));
+        assert_eq!(
+            decode(&[TAG_REG_ISLAND, 0, 0, 9]),
+            Err(CodecError::BadKind(9))
+        );
+    }
+
+    #[test]
+    fn all_messages_fit_a_config_space_dword_run() {
+        // The mailbox in the prototype is a handful of config-space
+        // registers; every message must stay tiny.
+        let msgs = [
+            CoordMsg::RegisterIsland { island: IslandId(1), kind: IslandKind::Storage },
+            CoordMsg::RegisterEntity { entity: EntityId(1), island: IslandId(1), local_key: 2 },
+            CoordMsg::Tune { entity: EntityId(1), delta: i32::MIN, target: None },
+            CoordMsg::Trigger { entity: EntityId(1), target: Some(IslandId(9)) },
+            CoordMsg::Ack { seq: u32::MAX },
+        ];
+        for m in msgs {
+            let mut buf = Vec::new();
+            assert!(encode(&m, &mut buf) <= 16, "{m:?} too large");
+        }
+    }
+}

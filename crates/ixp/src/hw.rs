@@ -1,0 +1,230 @@
+//! IXP2850 hardware geometry and per-packet cost modelling.
+//!
+//! The IXP2850 (per the paper's §2.1 and the Intel IXP2xxx documentation)
+//! couples 16 RISC microengines, each with 8 hardware thread contexts that
+//! round-robin on memory references, to a deep memory hierarchy. We model
+//! per-packet task cost as instruction time plus *partially hidden* memory
+//! stall time: with 8 contexts per engine, most of a reference's latency
+//! overlaps with other threads' execution, so only a configurable fraction
+//! of it lands on the critical path.
+
+use simcore::{Cycles, Nanos};
+
+/// Memory levels of the IXP2850 hierarchy with their access latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemLevel {
+    /// Per-microengine local memory (640 words).
+    Local,
+    /// 16 KB shared scratchpad.
+    Scratch,
+    /// 256 MB external SRAM (packet descriptor queues).
+    Sram,
+    /// 256 MB external DRAM (packet payloads).
+    Dram,
+}
+
+impl MemLevel {
+    /// Access latency in microengine cycles (order-of-magnitude values
+    /// from the IXP2xxx hardware reference).
+    pub fn latency(self) -> Cycles {
+        match self {
+            MemLevel::Local => Cycles(3),
+            MemLevel::Scratch => Cycles(60),
+            MemLevel::Sram => Cycles(90),
+            MemLevel::Dram => Cycles(120),
+        }
+    }
+}
+
+/// Static platform geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IxpGeometry {
+    /// Number of microengines (16 on the IXP2850).
+    pub microengines: u32,
+    /// Hardware thread contexts per microengine (8).
+    pub threads_per_engine: u32,
+    /// Microengine clock frequency in Hz (1.4 GHz).
+    pub clock_hz: f64,
+    /// Fraction of memory latency that lands on the critical path after
+    /// multithreaded latency hiding (0 = perfectly hidden, 1 = fully
+    /// exposed).
+    pub stall_exposure: f64,
+}
+
+impl IxpGeometry {
+    /// The IXP2850 as used in the paper.
+    pub fn ixp2850() -> Self {
+        IxpGeometry {
+            microengines: 16,
+            threads_per_engine: 8,
+            clock_hz: 1.4e9,
+            stall_exposure: 0.25,
+        }
+    }
+
+    /// Total hardware thread contexts.
+    pub fn total_threads(&self) -> u32 {
+        self.microengines * self.threads_per_engine
+    }
+}
+
+impl Default for IxpGeometry {
+    fn default() -> Self {
+        Self::ixp2850()
+    }
+}
+
+/// Per-packet processing cost for one pipeline task, expressed as
+/// instruction cycles plus memory references by level.
+///
+/// # Example
+///
+/// ```
+/// use ixp::{CostModel, IxpGeometry};
+/// let rx = CostModel::rx();
+/// let t = rx.service_time(&IxpGeometry::ixp2850(), 1500);
+/// assert!(t.as_nanos() > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Pure instruction cycles per packet.
+    pub instr: Cycles,
+    /// Scratchpad references per packet.
+    pub scratch_refs: u32,
+    /// SRAM references per packet (descriptor handling).
+    pub sram_refs: u32,
+    /// DRAM references per packet (payload handling).
+    pub dram_refs: u32,
+    /// Additional DRAM references per 64 payload bytes touched (0 for
+    /// tasks that never read the payload).
+    pub dram_refs_per_64b: f64,
+}
+
+impl CostModel {
+    /// Packet receive from the wire into DRAM.
+    pub fn rx() -> Self {
+        CostModel {
+            instr: Cycles(500),
+            scratch_refs: 1,
+            sram_refs: 2,
+            dram_refs: 4,
+            dram_refs_per_64b: 0.0,
+        }
+    }
+
+    /// Packet transmit from DRAM to the wire.
+    pub fn tx() -> Self {
+        CostModel {
+            instr: Cycles(450),
+            scratch_refs: 1,
+            sram_refs: 2,
+            dram_refs: 4,
+            dram_refs_per_64b: 0.0,
+        }
+    }
+
+    /// Flow classification by header fields (destination IP → VM flow).
+    pub fn classify_flow() -> Self {
+        CostModel {
+            instr: Cycles(300),
+            scratch_refs: 1,
+            sram_refs: 1,
+            dram_refs: 1,
+            dram_refs_per_64b: 0.0,
+        }
+    }
+
+    /// Deep packet inspection (RUBiS request classification): walks part of
+    /// the payload in DRAM.
+    pub fn classify_dpi() -> Self {
+        CostModel {
+            instr: Cycles(2_000),
+            scratch_refs: 1,
+            sram_refs: 1,
+            dram_refs: 2,
+            dram_refs_per_64b: 0.5,
+        }
+    }
+
+    /// Enqueue/dequeue on the host-bound message ring.
+    pub fn host_queue() -> Self {
+        CostModel {
+            instr: Cycles(250),
+            scratch_refs: 1,
+            sram_refs: 2,
+            dram_refs: 1,
+            dram_refs_per_64b: 0.0,
+        }
+    }
+
+    /// Service time for one packet of `len_bytes` under `geom`.
+    pub fn service_time(&self, geom: &IxpGeometry, len_bytes: u32) -> Nanos {
+        let payload_refs = (self.dram_refs_per_64b * (len_bytes as f64 / 64.0)).round() as u64;
+        let stall_cycles = (self.scratch_refs as u64 * MemLevel::Scratch.latency().count()
+            + self.sram_refs as u64 * MemLevel::Sram.latency().count()
+            + (self.dram_refs as u64 + payload_refs) * MemLevel::Dram.latency().count())
+            as f64
+            * geom.stall_exposure;
+        let total = Cycles(self.instr.count() + stall_cycles.round() as u64);
+        total.to_nanos(geom.clock_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_totals() {
+        let g = IxpGeometry::ixp2850();
+        assert_eq!(g.total_threads(), 128);
+        assert_eq!(g.clock_hz, 1.4e9);
+    }
+
+    #[test]
+    fn memory_hierarchy_is_ordered() {
+        assert!(MemLevel::Local.latency() < MemLevel::Scratch.latency());
+        assert!(MemLevel::Scratch.latency() < MemLevel::Sram.latency());
+        assert!(MemLevel::Sram.latency() < MemLevel::Dram.latency());
+    }
+
+    #[test]
+    fn dpi_costs_more_than_flow_classification() {
+        let g = IxpGeometry::ixp2850();
+        let flow = CostModel::classify_flow().service_time(&g, 1500);
+        let dpi = CostModel::classify_dpi().service_time(&g, 1500);
+        assert!(dpi > flow * 2, "dpi {dpi} vs flow {flow}");
+    }
+
+    #[test]
+    fn payload_length_scales_dpi_cost() {
+        let g = IxpGeometry::ixp2850();
+        let small = CostModel::classify_dpi().service_time(&g, 64);
+        let large = CostModel::classify_dpi().service_time(&g, 1500);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn stall_exposure_zero_leaves_instruction_time() {
+        let mut g = IxpGeometry::ixp2850();
+        g.stall_exposure = 0.0;
+        let t = CostModel::rx().service_time(&g, 1500);
+        // 500 cycles at 1.4 GHz ≈ 357 ns.
+        assert_eq!(t, Cycles(500).to_nanos(1.4e9));
+    }
+
+    #[test]
+    fn service_times_are_sub_microsecond_scale() {
+        // Sanity: the IXP is built to do millions of packets per second.
+        let g = IxpGeometry::ixp2850();
+        for c in [
+            CostModel::rx(),
+            CostModel::tx(),
+            CostModel::classify_flow(),
+            CostModel::host_queue(),
+        ] {
+            let t = c.service_time(&g, 1500);
+            assert!(t < Nanos::from_micros(2), "{t}");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! The paper's platform-efficiency metric.
+
+/// Platform efficiency as defined in §3.1: average request throughput
+/// (application performance) over mean CPU utilization (resource
+/// utilization), where utilization is the sum of per-domain percentages
+/// expressed as a fraction (150% → 1.5).
+///
+/// The paper's Table 2: 68 req/s at ~132.6% utilization → 51.28;
+/// 95 req/s at ~163.2% → 58.20.
+///
+/// # Example
+///
+/// ```
+/// use metrics::platform_efficiency;
+/// let e = platform_efficiency(68.0, 132.6);
+/// assert!((e - 51.28).abs() < 0.1);
+/// ```
+pub fn platform_efficiency(throughput_rps: f64, total_cpu_percent: f64) -> f64 {
+    if total_cpu_percent <= 0.0 {
+        return 0.0;
+    }
+    throughput_rps / (total_cpu_percent / 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_arithmetic() {
+        assert!((platform_efficiency(95.0, 163.2) - 58.2).abs() < 0.1);
+    }
+
+    #[test]
+    fn zero_utilization_is_zero() {
+        assert_eq!(platform_efficiency(100.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn higher_throughput_same_cpu_is_better() {
+        assert!(platform_efficiency(90.0, 150.0) > platform_efficiency(60.0, 150.0));
+    }
+}

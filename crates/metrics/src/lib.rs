@@ -1,0 +1,22 @@
+//! # metrics — measurement and reporting for the reproduction
+//!
+//! The paper's evaluation (§3.1) defines four application-facing metrics
+//! for RUBiS — response-time variability, request throughput, session
+//! time, and **platform efficiency** (throughput over mean CPU
+//! utilization) — plus per-VM CPU utilization breakdowns (Figure 5) and
+//! frame-rate QoS for MPlayer (Figures 6–7, Table 3). This crate holds the
+//! collectors and the plain-text table/CSV renderers the experiment
+//! harness prints paper-style artifacts with.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod efficiency;
+mod response;
+mod table;
+mod throughput;
+
+pub use efficiency::platform_efficiency;
+pub use response::ResponseStats;
+pub use table::Table;
+pub use throughput::SessionStats;

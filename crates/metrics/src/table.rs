@@ -1,0 +1,170 @@
+//! Plain-text table and CSV rendering for the experiment harness.
+
+use std::fmt;
+
+/// A titled table of string cells with aligned plain-text rendering and a
+/// CSV export, used to print paper-style artifacts.
+///
+/// # Example
+///
+/// ```
+/// use metrics::Table;
+/// let mut t = Table::new("Table 2: RUBiS throughput", &["Metric", "Base", "Coord"]);
+/// t.row(&["Throughput (req/s)", "68", "95"]);
+/// let text = t.to_string();
+/// assert!(text.contains("Throughput"));
+/// assert!(t.to_csv().starts_with("Metric,Base,Coord\n"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows
+    /// are truncated to the header width.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        let mut r: Vec<String> = cells.iter().map(|s| (*s).to_owned()).collect();
+        r.resize(self.headers.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Appends a row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        let mut r = cells;
+        r.resize(self.headers.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// CSV rendering (headers + rows; cells with commas/quotes are
+    /// quoted).
+    pub fn to_csv(&self) -> String {
+        fn esc(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let line: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        writeln!(f, "{line}")?;
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let row = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!(" {c:<w$} "))
+                .collect::<Vec<_>>()
+                .join("|");
+            writeln!(f, "{row}")
+        };
+        render(f, &self.headers)?;
+        writeln!(f, "{line}")?;
+        for r in &self.rows {
+            render(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_text() {
+        let mut t = Table::new("T", &["a", "bbbb"]);
+        t.row(&["xxxxx", "y"]);
+        let s = t.to_string();
+        assert!(s.contains("xxxxx"));
+        assert!(s.lines().count() >= 4);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert_eq!(t.title(), "T");
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(&["1"]);
+        t.row(&["1", "2", "3"]);
+        assert!(t.to_csv().contains("1,\n"));
+        assert!(t.to_csv().contains("1,2\n"));
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("T", &["k"]);
+        t.row(&["a,b"]);
+        t.row(&["q\"uote"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"q\"\"uote\""));
+    }
+
+    #[test]
+    fn row_owned_works() {
+        let mut t = Table::new("T", &["x", "y"]);
+        t.row_owned(vec!["1".into(), "2".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

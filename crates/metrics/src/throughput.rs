@@ -1,0 +1,96 @@
+//! Request throughput and session accounting (Table 2).
+
+use simcore::stats::OnlineStats;
+use simcore::Nanos;
+
+/// Accumulates completed requests and user sessions over a measurement
+/// window.
+///
+/// # Example
+///
+/// ```
+/// use metrics::SessionStats;
+/// use simcore::Nanos;
+///
+/// let mut s = SessionStats::new();
+/// s.request_completed();
+/// s.request_completed();
+/// s.session_completed(Nanos::from_secs(90));
+/// assert_eq!(s.requests(), 2);
+/// assert_eq!(s.sessions(), 1);
+/// assert_eq!(s.throughput(Nanos::from_secs(2)), 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SessionStats {
+    requests: u64,
+    sessions: u64,
+    session_time: OnlineStats,
+}
+
+impl SessionStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one completed request.
+    pub fn request_completed(&mut self) {
+        self.requests += 1;
+    }
+
+    /// Counts one completed user session with its duration.
+    pub fn session_completed(&mut self, duration: Nanos) {
+        self.sessions += 1;
+        self.session_time.record(duration.as_secs_f64());
+    }
+
+    /// Completed requests.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Completed sessions.
+    pub fn sessions(&self) -> u64 {
+        self.sessions
+    }
+
+    /// Requests per second over `window`.
+    pub fn throughput(&self, window: Nanos) -> f64 {
+        let secs = window.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.requests as f64 / secs
+    }
+
+    /// Mean completed-session duration in seconds.
+    pub fn avg_session_secs(&self) -> f64 {
+        self.session_time.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_rates() {
+        let mut s = SessionStats::new();
+        for _ in 0..50 {
+            s.request_completed();
+        }
+        s.session_completed(Nanos::from_secs(100));
+        s.session_completed(Nanos::from_secs(50));
+        assert_eq!(s.requests(), 50);
+        assert_eq!(s.sessions(), 2);
+        assert_eq!(s.throughput(Nanos::from_secs(10)), 5.0);
+        assert_eq!(s.avg_session_secs(), 75.0);
+    }
+
+    #[test]
+    fn zero_window_is_zero_throughput() {
+        let mut s = SessionStats::new();
+        s.request_completed();
+        assert_eq!(s.throughput(Nanos::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! DMA transfer cost model.
+
+use simcore::Nanos;
+
+/// Latency/bandwidth model for moving a packet across the PCIe link.
+///
+/// Transfer time = `base` (doorbell, descriptor fetch, setup) plus payload
+/// bytes at `bytes_per_sec`.
+///
+/// # Example
+///
+/// ```
+/// use pcie::DmaModel;
+/// use simcore::Nanos;
+/// let dma = DmaModel::new(Nanos::from_micros(2), 1e9);
+/// // 1000 bytes at 1 GB/s = 1 µs on top of the 2 µs base.
+/// assert_eq!(dma.transfer_time(1000), Nanos::from_micros(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DmaModel {
+    base: Nanos,
+    bytes_per_sec: f64,
+}
+
+impl DmaModel {
+    /// Creates a model with the given per-transfer base latency and
+    /// sustained bandwidth in bytes/second.
+    ///
+    /// # Panics
+    /// Panics if `bytes_per_sec` is not positive.
+    pub fn new(base: Nanos, bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        DmaModel {
+            base,
+            bytes_per_sec,
+        }
+    }
+
+    /// The i8000-class PCIe link used by the prototype: ~2 µs setup,
+    /// ~1 GB/s sustained.
+    pub fn pcie_i8000() -> Self {
+        DmaModel::new(Nanos::from_micros(2), 1e9)
+    }
+
+    /// Time to move `bytes` across the link.
+    pub fn transfer_time(&self, bytes: u32) -> Nanos {
+        self.base + Nanos::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// Base (payload-independent) latency.
+    pub fn base(&self) -> Nanos {
+        self.base
+    }
+}
+
+impl Default for DmaModel {
+    fn default() -> Self {
+        Self::pcie_i8000()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_scales_with_bytes() {
+        let d = DmaModel::new(Nanos::from_micros(1), 1e9);
+        assert_eq!(d.transfer_time(0), Nanos::from_micros(1));
+        assert!(d.transfer_time(64_000) > d.transfer_time(64));
+    }
+
+    #[test]
+    fn default_is_i8000() {
+        assert_eq!(DmaModel::default(), DmaModel::pcie_i8000());
+        assert_eq!(DmaModel::default().base(), Nanos::from_micros(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_panics() {
+        let _ = DmaModel::new(Nanos::ZERO, 0.0);
+    }
+}

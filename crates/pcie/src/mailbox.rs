@@ -1,0 +1,120 @@
+//! The coordination channel: a small-message mailbox with injected
+//! one-way latency.
+//!
+//! The prototype carves this channel out of the IXP device's PCI
+//! configuration space (§2.3). Its latency is the knob behind the paper's
+//! hardware-considerations discussion: PCIe-era mailboxes cost tens of
+//! microseconds, while QPI/HTX-class integration or hardware signalling
+//! would cut that by orders of magnitude (§3.3). Ablation A1 sweeps it.
+
+use simcore::{EventQueue, Nanos};
+
+/// A unidirectional, latency-injected, order-preserving message channel.
+///
+/// Generic over the message type so the coordination layer can ship its
+/// own enums without serialisation in the common case (the wire codec in
+/// `coord::msg` covers the "real bytes" story and is exercised separately).
+#[derive(Debug)]
+pub struct Mailbox<M> {
+    latency: Nanos,
+    q: EventQueue<M>,
+    sent: u64,
+    delivered: u64,
+}
+
+impl<M> Mailbox<M> {
+    /// Creates a mailbox with the given one-way delivery latency.
+    pub fn new(latency: Nanos) -> Self {
+        Mailbox {
+            latency,
+            q: EventQueue::new(),
+            sent: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Enqueues a message at `now`; it arrives at `now + latency()`.
+    pub fn send(&mut self, now: Nanos, msg: M) {
+        self.q.schedule(now + self.latency, msg);
+        self.sent += 1;
+    }
+
+    /// Arrival time of the earliest undelivered message.
+    pub fn next_event_time(&mut self) -> Option<Nanos> {
+        self.q.peek_time()
+    }
+
+    /// Delivers every message that has arrived by `now`, in send order.
+    pub fn on_timer(&mut self, now: Nanos) -> Vec<M> {
+        let mut out = Vec::new();
+        while let Some(t) = self.q.peek_time() {
+            if t > now {
+                break;
+            }
+            let (_, m) = self.q.pop().expect("peeked");
+            out.push(m);
+        }
+        self.delivered += out.len() as u64;
+        out
+    }
+
+    /// Configured one-way latency.
+    pub fn latency(&self) -> Nanos {
+        self.latency
+    }
+
+    /// Changes the one-way latency for subsequently sent messages.
+    pub fn set_latency(&mut self, latency: Nanos) {
+        self.latency = latency;
+    }
+
+    /// Messages sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages currently in flight.
+    pub fn in_flight(&self) -> u64 {
+        self.sent - self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_after_latency_in_order() {
+        let mut m = Mailbox::new(Nanos::from_micros(10));
+        m.send(Nanos::ZERO, 1);
+        m.send(Nanos::from_micros(1), 2);
+        assert_eq!(m.on_timer(Nanos::from_micros(9)), Vec::<i32>::new());
+        assert_eq!(m.on_timer(Nanos::from_micros(11)), vec![1, 2]);
+        assert_eq!(m.in_flight(), 0);
+        assert_eq!((m.sent(), m.delivered()), (2, 2));
+    }
+
+    #[test]
+    fn zero_latency_delivers_immediately() {
+        let mut m = Mailbox::new(Nanos::ZERO);
+        m.send(Nanos::from_millis(5), "x");
+        assert_eq!(m.next_event_time(), Some(Nanos::from_millis(5)));
+        assert_eq!(m.on_timer(Nanos::from_millis(5)), vec!["x"]);
+    }
+
+    #[test]
+    fn latency_change_applies_to_new_sends() {
+        let mut m = Mailbox::new(Nanos::from_micros(30));
+        m.send(Nanos::ZERO, 'a');
+        m.set_latency(Nanos::from_micros(1));
+        m.send(Nanos::ZERO, 'b');
+        // 'b' arrives before 'a' (different latencies).
+        assert_eq!(m.on_timer(Nanos::from_micros(2)), vec!['b']);
+        assert_eq!(m.on_timer(Nanos::from_micros(30)), vec!['a']);
+    }
+}

@@ -1,0 +1,139 @@
+//! Results of a platform run.
+
+use metrics::ResponseStats;
+use simcore::stats::Series;
+use simcore::Nanos;
+
+/// RUBiS application-level results (empty/zero for MPlayer runs).
+#[derive(Debug, Clone, Default)]
+pub struct RubisReport {
+    /// Per-request-type response-time summaries (milliseconds).
+    pub responses: ResponseStats,
+    /// Completed requests.
+    pub completed: u64,
+    /// Requests per second over the run.
+    pub throughput: f64,
+    /// User sessions completed.
+    pub sessions: u64,
+    /// Mean completed-session duration in seconds.
+    pub avg_session_secs: f64,
+}
+
+/// One MPlayer instance's results.
+#[derive(Debug, Clone)]
+pub struct PlayerReport {
+    /// Domain name ("dom1", ...).
+    pub name: String,
+    /// The stream's nominal frame rate.
+    pub target_fps: u32,
+    /// Achieved decoded frames/sec over the run.
+    pub achieved_fps: f64,
+    /// Total frames decoded.
+    pub frames: u64,
+}
+
+/// Per-domain CPU accounting over the whole run.
+#[derive(Debug, Clone)]
+pub struct DomCpu {
+    /// Domain name.
+    pub name: String,
+    /// CPU consumption as a percentage of one pCPU.
+    pub percent: f64,
+    /// User-mode share of `percent`.
+    pub user: f64,
+    /// System-mode share of `percent`.
+    pub system: f64,
+    /// Runnable-wait ("steal") percentage.
+    pub steal: f64,
+}
+
+/// Coordination-channel accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoordReport {
+    /// Messages put on the channel by the IXP-side policy.
+    pub messages_sent: u64,
+    /// Encoded bytes put on the channel.
+    pub bytes_sent: u64,
+    /// Tune actions applied on a remote island.
+    pub tunes_applied: u64,
+    /// Trigger actions applied on a remote island.
+    pub triggers_applied: u64,
+    /// Messages the controller rejected.
+    pub rejected: u64,
+}
+
+/// Network-path loss/drop accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetReport {
+    /// Packets dropped on IXP DRAM queue overflow.
+    pub ixp_drops: u64,
+    /// Descriptors dropped because the host ring was full.
+    pub link_drops: u64,
+    /// Packets with no registered flow.
+    pub unroutable: u64,
+    /// Packets delivered into guests.
+    pub delivered: u64,
+    /// Packets dropped at the guest receive queue (netfront overflow).
+    pub guest_drops: u64,
+}
+
+/// Power accounting (populated when a power cap is configured; the
+/// modelled draw is reported for every run).
+#[derive(Debug, Clone, Default)]
+pub struct PowerReport {
+    /// Configured cap in watts, if any.
+    pub cap_watts: Option<f64>,
+    /// Mean modelled platform power over the run.
+    pub mean_watts: f64,
+    /// Peak modelled platform power.
+    pub max_watts: f64,
+    /// Cap adjustments the governor issued.
+    pub cap_actions: u64,
+    /// Modelled watts sampled once per second.
+    pub series: Series,
+}
+
+/// Everything measured over one [`Platform::run`](crate::Platform::run).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Simulated run length.
+    pub duration: Nanos,
+    /// Active coordination policy name.
+    pub policy: String,
+    /// RUBiS results (zeroed for MPlayer scenarios).
+    pub rubis: RubisReport,
+    /// MPlayer results (empty for RUBiS scenarios).
+    pub players: Vec<PlayerReport>,
+    /// Whole-run CPU accounting per domain (Dom0 first).
+    pub cpu: Vec<DomCpu>,
+    /// Sum of per-domain CPU percentages.
+    pub total_cpu_percent: f64,
+    /// The paper's platform-efficiency metric (RUBiS only; 0 otherwise).
+    pub efficiency: f64,
+    /// Coordination accounting.
+    pub coord: CoordReport,
+    /// Network accounting.
+    pub net: NetReport,
+    /// Per-domain CPU% time series (sampled each second).
+    pub cpu_series: Vec<(String, Series)>,
+    /// Monitored IXP buffer occupancy series in bytes.
+    pub buffer_series: Series,
+    /// Modelled platform power.
+    pub power: PowerReport,
+}
+
+impl RunReport {
+    /// CPU percentage of a domain by name (0 if absent).
+    pub fn cpu_percent(&self, name: &str) -> f64 {
+        self.cpu
+            .iter()
+            .find(|d| d.name == name)
+            .map(|d| d.percent)
+            .unwrap_or(0.0)
+    }
+
+    /// The player report for a domain name, if any.
+    pub fn player(&self, name: &str) -> Option<&PlayerReport> {
+        self.players.iter().find(|p| p.name == name)
+    }
+}

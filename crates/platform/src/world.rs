@@ -1,0 +1,1029 @@
+//! The assembled platform: state, master event loop, and the output pump
+//! that chains island events into each other at identical timestamps.
+
+use crate::config::{HostCosts, MplayerScenario, PlatformBuilder, RubisScenario};
+use crate::report::{CoordReport, DomCpu, NetReport, PlayerReport, PowerReport, RubisReport, RunReport};
+use coord::{
+    Action, BufferTriggerPolicy, Controller, CoordMsg, CoordinationPolicy, EntityId,
+    HysteresisPolicy, IslandId, IslandKind, NullPolicy, Observation, PolicyKind,
+    RequestTypePolicy, StreamQosPolicy,
+};
+use ixp::{AppTag, FlowId, IxpConfig, IxpEvent, IxpIsland, Packet};
+use metrics::{platform_efficiency, ResponseStats, SessionStats};
+use pcie::{HostLink, Mailbox, PcieEvent};
+use power::{CpuPowerModel, DomainSample, IxpPowerModel, PowerGovernor};
+use simcore::stats::Series;
+use simcore::trace::TraceBuffer;
+use simcore::{EventQueue, Nanos, SimRng};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use workloads::mplayer::{Player, Source};
+use workloads::rubis::{RequestType, RubisModel, Tier, TierDemands};
+use xsched::{Burst, CreditScheduler, DomId, SchedConfig, SchedEvent, WakeMode};
+
+/// The x86 island's coordination identity.
+pub(crate) const X86: IslandId = IslandId(0);
+/// The IXP island's coordination identity.
+pub(crate) const IXP: IslandId = IslandId(1);
+
+/// Master-queue events (workload pacing and sampling).
+#[derive(Debug)]
+pub(crate) enum Ev {
+    /// A packet reaches the IXP's wire-side receive port.
+    WireArrive(Packet),
+    /// A RUBiS client issues its next request.
+    ClientSend(u32),
+    /// The streaming server emits the next frame of a stream.
+    FrameGen(usize),
+    /// Dom0's background load resumes after an idle gap.
+    BackgroundKick,
+    /// A RUBiS client's retransmission timer fires.
+    Rto { req: u64, attempt: u32 },
+    /// Periodic measurement sample.
+    Sample,
+}
+
+/// Context attached to scheduler burst tags.
+#[derive(Debug, Clone)]
+pub(crate) enum Ctx {
+    /// Dom0 messaging-driver service routine finished.
+    DriverService,
+    /// A tier finished processing a RUBiS request.
+    TierDone { req: u64, tier: Tier },
+    /// Dom0 bridge hop finished; start `tier` processing of `req`.
+    HopDone { req: u64, tier: Tier },
+    /// Dom0 response-out bridge finished for `req`.
+    RespOut { req: u64 },
+    /// A frame decode finished.
+    Decode { player: usize },
+    /// Dom0 background work chunk finished.
+    Background,
+    /// Dom0 finished applying a coordination message.
+    CoordApply { msg: CoordMsg },
+}
+
+#[derive(Debug)]
+pub(crate) struct VmSlot {
+    pub dom: DomId,
+    pub vm_index: u32,
+    pub entity: EntityId,
+    pub flow: Option<FlowId>,
+    pub name: String,
+    pub inflight_rx: u32,
+    pub hold: VecDeque<Packet>,
+    /// Requests queued or in service at this tier (admission control).
+    pub pending: u32,
+}
+
+#[derive(Debug)]
+pub(crate) struct ReqState {
+    pub rt: &'static RequestType,
+    pub demands: TierDemands,
+    pub client: u32,
+    pub start: Nanos,
+    /// Current transmission attempt (0 = original send).
+    pub attempt: u32,
+    /// A burst chain for this request is active in the tiers (guards
+    /// against duplicate processing when a retransmitted copy arrives
+    /// while the original is still being serviced).
+    pub in_service: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ClientState {
+    pub session_start: Nanos,
+    pub done_in_session: u32,
+}
+
+#[derive(Debug)]
+pub(crate) struct RubisState {
+    pub model: RubisModel,
+    pub reqs: HashMap<u64, ReqState>,
+    pub resp_map: HashMap<u64, u64>,
+    pub pkt_to_req: HashMap<u64, u64>,
+    pub clients: Vec<ClientState>,
+    pub web_vm: u32,
+    pub app_vm: u32,
+    pub db_vm: u32,
+}
+
+#[derive(Debug)]
+pub(crate) struct PlayerState {
+    pub player: Player,
+    pub vm_index: u32,
+    pub rx_accum_bytes: u64,
+    pub next_pkt_id: u64,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct CoordCounters {
+    pub messages_sent: u64,
+    pub bytes_sent: u64,
+    pub tunes_applied: u64,
+    pub triggers_applied: u64,
+}
+
+/// The fully wired two-island platform. Construct with
+/// [`PlatformBuilder`](crate::PlatformBuilder), then call [`run`](Self::run).
+pub struct Platform {
+    pub(crate) now: Nanos,
+    pub(crate) rng: SimRng,
+    pub(crate) sched: CreditScheduler,
+    pub(crate) ixp: IxpIsland,
+    pub(crate) link: HostLink,
+    pub(crate) mbx: Mailbox<Vec<u8>>,
+    pub(crate) controller: Controller,
+    pub(crate) policy: Box<dyn CoordinationPolicy>,
+    pub(crate) q: EventQueue<Ev>,
+    pub(crate) tags: HashMap<u64, Ctx>,
+    pub(crate) next_tag: u64,
+    pub(crate) dom0: DomId,
+    pub(crate) vms: Vec<VmSlot>,
+    pub(crate) rubis: Option<RubisState>,
+    pub(crate) players: Vec<PlayerState>,
+    pub(crate) dom0_hog: f64,
+    pub(crate) hog_chunk: Nanos,
+    pub(crate) overrate: f64,
+    pub(crate) costs: HostCosts,
+    pub(crate) sample_period: Nanos,
+    pub(crate) run_end: Nanos,
+    pub(crate) driver_pending: bool,
+    /// Coordination messages awaiting their Dom0 apply burst. Applications
+    /// are strictly serialized: weight deltas do not commute once clamping
+    /// is involved, so out-of-order application across Dom0's VCPUs would
+    /// make weights drift.
+    pub(crate) coord_pending: VecDeque<CoordMsg>,
+    pub(crate) coord_inflight: bool,
+    // measurement
+    pub(crate) responses: ResponseStats,
+    pub(crate) sessions: SessionStats,
+    pub(crate) coord: CoordCounters,
+    pub(crate) cpu_series: BTreeMap<DomId, Series>,
+    pub(crate) buffer_series: Series,
+    pub(crate) cpu_prev: BTreeMap<DomId, Nanos>,
+    pub(crate) monitored_flow: Option<FlowId>,
+    pub(crate) delivered: u64,
+    pub(crate) guest_drops: u64,
+    pub(crate) trace: TraceBuffer,
+    pub(crate) power_gov: Option<PowerGovernor>,
+    pub(crate) cpu_power: CpuPowerModel,
+    pub(crate) ixp_power: IxpPowerModel,
+    pub(crate) power_series: Series,
+    pub(crate) delivered_prev: u64,
+    pub(crate) ncpus: u32,
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform")
+            .field("now", &self.now)
+            .field("policy", &self.policy.name())
+            .field("vms", &self.vms.len())
+            .field("players", &self.players.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Platform {
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    fn base(b: &PlatformBuilder, ixp_cfg: IxpConfig) -> Platform {
+        let mut sched_cfg = SchedConfig::new(b.ncpus);
+        sched_cfg.precise_accounting = b.precise_accounting;
+        let sched = CreditScheduler::new(sched_cfg);
+        let mut controller = Controller::new();
+        controller.handle(
+            Nanos::ZERO,
+            CoordMsg::RegisterIsland { island: X86, kind: IslandKind::GeneralPurpose },
+        );
+        controller.handle(
+            Nanos::ZERO,
+            CoordMsg::RegisterIsland { island: IXP, kind: IslandKind::NetworkProcessor },
+        );
+        Platform {
+            now: Nanos::ZERO,
+            rng: SimRng::new(b.seed),
+            sched,
+            ixp: IxpIsland::new(ixp_cfg),
+            link: HostLink::new(b.link_config()),
+            mbx: Mailbox::new(b.coord_latency),
+            controller,
+            policy: Box::new(NullPolicy),
+            q: EventQueue::new(),
+            tags: HashMap::new(),
+            next_tag: 1,
+            dom0: DomId::DOM0,
+            vms: Vec::new(),
+            rubis: None,
+            players: Vec::new(),
+            dom0_hog: 0.0,
+            hog_chunk: Nanos::from_millis(20),
+            overrate: 1.0,
+            costs: b.costs,
+            sample_period: b.sample_period,
+            run_end: Nanos::MAX,
+            driver_pending: false,
+            coord_pending: VecDeque::new(),
+            coord_inflight: false,
+            responses: ResponseStats::new(),
+            sessions: SessionStats::new(),
+            coord: CoordCounters::default(),
+            cpu_series: BTreeMap::new(),
+            buffer_series: Series::new(),
+            cpu_prev: BTreeMap::new(),
+            monitored_flow: None,
+            delivered: 0,
+            guest_drops: 0,
+            trace: TraceBuffer::new(512),
+            power_gov: b
+                .power_cap
+                .clone()
+                .map(|(w, s)| PowerGovernor::new(w, s)),
+            cpu_power: CpuPowerModel::default(),
+            ixp_power: IxpPowerModel::default(),
+            power_series: Series::new(),
+            delivered_prev: 0,
+            ncpus: b.ncpus,
+        }
+    }
+
+    fn add_vm(&mut self, name: &str, weight: u32, vm_index: u32, with_flow: bool) -> usize {
+        let dom = self.sched.create_domain(name, weight, 1);
+        let entity = EntityId(vm_index);
+        let flow = with_flow.then(|| self.ixp.register_flow(vm_index));
+        self.controller.handle(
+            Nanos::ZERO,
+            CoordMsg::RegisterEntity { entity, island: X86, local_key: dom.0 as u64 },
+        );
+        if let Some(f) = flow {
+            self.controller.handle(
+                Nanos::ZERO,
+                CoordMsg::RegisterEntity { entity, island: IXP, local_key: f.0 as u64 },
+            );
+        }
+        self.vms.push(VmSlot {
+            dom,
+            vm_index,
+            entity,
+            flow,
+            name: name.to_owned(),
+            inflight_rx: 0,
+            hold: VecDeque::new(),
+            pending: 0,
+        });
+        self.vms.len() - 1
+    }
+
+    pub(crate) fn new_rubis(b: PlatformBuilder, scenario: RubisScenario) -> Platform {
+        let mut ixp_cfg = b.ixp_overrides.clone().unwrap_or_default();
+        ixp_cfg.dpi = true;
+        let mut b = b;
+        // Guest-side queues are small for request/response traffic: the
+        // web VM's netfront ring and accept queue hold only a handful of
+        // outstanding requests (the paper's overloaded 256 MB VMs), so a
+        // starved tier drops and clients retransmit.
+        if b.costs.guest_rx_cap == HostCosts::default().guest_rx_cap {
+            b.costs.guest_rx_cap = scenario.rx_window;
+            b.costs.guest_hold_cap = scenario.rx_window;
+        }
+        let mut p = Platform::base(&b, ixp_cfg);
+        // Dom0 first (one VCPU per pCPU, unpinned, default weight).
+        p.dom0 = p.sched.create_domain("dom0", 256, b.ncpus);
+        p.add_vm("web", 256, 1, true);
+        p.add_vm("app", 256, 2, true);
+        p.add_vm("db", 256, 3, true);
+        p.policy = match b.policy {
+            PolicyKind::RequestType => {
+                let mut pol = RequestTypePolicy::new(EntityId(1), EntityId(2), EntityId(3), X86);
+                if let Some((hi, lo)) = b.policy_weights {
+                    pol = pol.with_weights(hi, lo);
+                }
+                Box::new(pol)
+            }
+            PolicyKind::RequestTypeHysteresis => Box::new(HysteresisPolicy::new(
+                EntityId(1),
+                EntityId(2),
+                EntityId(3),
+                X86,
+            )),
+            PolicyKind::BufferTrigger => Box::new(BufferTriggerPolicy::new(X86)),
+            PolicyKind::StreamQos => Box::new(StreamQosPolicy::new(X86, 500)),
+            PolicyKind::None => Box::new(NullPolicy),
+        };
+        let model = RubisModel::new(scenario.rubis_config(), b.seed.wrapping_mul(0x9E37));
+        let clients = (0..scenario.clients)
+            .map(|_| ClientState { session_start: Nanos::ZERO, done_in_session: 0 })
+            .collect();
+        p.rubis = Some(RubisState {
+            model,
+            reqs: HashMap::new(),
+            resp_map: HashMap::new(),
+            pkt_to_req: HashMap::new(),
+            clients,
+            web_vm: 1,
+            app_vm: 2,
+            db_vm: 3,
+        });
+        p
+    }
+
+    pub(crate) fn new_mplayer(b: PlatformBuilder, scenario: MplayerScenario) -> Platform {
+        let mut ixp_cfg = b.ixp_overrides.clone().unwrap_or_default();
+        ixp_cfg.buffer_threshold = scenario.buffer_threshold;
+        let mut p = Platform::base(&b, ixp_cfg);
+        p.dom0 = p
+            .sched
+            .create_domain("dom0", 256, scenario.dom0_vcpus.max(1));
+        p.dom0_hog = scenario.dom0_hog.max(0.0);
+        p.overrate = scenario.overrate.max(0.1);
+        for (i, spec) in scenario.players.iter().enumerate() {
+            let vm_index = (i + 1) as u32;
+            let name = format!("dom{vm_index}");
+            let network = spec.source == Source::Network;
+            let slot = p.add_vm(&name, spec.weight, vm_index, network);
+            if network && p.monitored_flow.is_none() {
+                p.monitored_flow = p.vms[slot].flow;
+            }
+            p.players.push(PlayerState {
+                player: Player::new(spec.stream, spec.source, Nanos::ZERO),
+                vm_index,
+                rx_accum_bytes: 0,
+                next_pkt_id: (i as u64 + 1) << 48,
+            });
+        }
+        p.policy = match b.policy {
+            PolicyKind::StreamQos => Box::new(StreamQosPolicy::new(X86, 500).with_tandem_ixp(IXP)),
+            PolicyKind::BufferTrigger => {
+                let mut pol = BufferTriggerPolicy::new(X86);
+                if let Some(rate) = b.trigger_rate {
+                    pol = pol.with_rate_limit(rate, (rate * 2.0).max(1.0));
+                }
+                Box::new(pol)
+            }
+            PolicyKind::RequestType | PolicyKind::RequestTypeHysteresis | PolicyKind::None => {
+                Box::new(NullPolicy)
+            }
+        };
+        p
+    }
+
+    // ------------------------------------------------------------------
+    // VM helpers
+    // ------------------------------------------------------------------
+
+    pub(crate) fn slot_by_vm(&self, vm_index: u32) -> Option<usize> {
+        self.vms.iter().position(|v| v.vm_index == vm_index)
+    }
+
+    pub(crate) fn dom_of_vm(&self, vm_index: u32) -> Option<DomId> {
+        self.slot_by_vm(vm_index).map(|i| self.vms[i].dom)
+    }
+
+    pub(crate) fn alloc_tag(&mut self, ctx: Ctx) -> u64 {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.tags.insert(tag, ctx);
+        tag
+    }
+
+    /// Submits a burst to a domain and absorbs any catch-up completions.
+    pub(crate) fn submit(&mut self, dom: DomId, burst: Burst, wake: WakeMode) {
+        let now = self.now;
+        let evs = self
+            .sched
+            .submit(now, dom, burst, wake)
+            .expect("domain exists");
+        self.absorb_sched(evs);
+    }
+
+    /// Sets the IXP dequeue-thread count for the flow registered to a
+    /// guest VM index (the Figure 6 "tandem" knob).
+    pub fn set_flow_threads_by_vm(&mut self, vm_index: u32, threads: u32) -> bool {
+        let Some(flow) = self.ixp.flow_of_vm(vm_index) else {
+            return false;
+        };
+        self.ixp.set_flow_threads(flow, threads);
+        true
+    }
+
+    /// The most recent coordination decisions applied on the x86 island
+    /// (bounded history; useful when debugging a policy).
+    pub fn coordination_trace(&self) -> impl Iterator<Item = &(Nanos, String)> {
+        self.trace.iter()
+    }
+
+    /// Diagnostic: one-line scheduler state summary.
+    pub fn diag_line(&self) -> String {
+        let mut out = String::new();
+        let mut doms = vec![(self.dom0, "dom0".to_string())];
+        for v in &self.vms {
+            doms.push((v.dom, v.name.clone()));
+        }
+        for (d, name) in doms {
+            out.push_str(&format!(
+                "{}[{:?} {:?} c{:?}] ",
+                name,
+                self.sched.run_state(d),
+                self.sched.priority(d),
+                self.sched.credits_all(d),
+            ));
+        }
+        out
+    }
+
+    /// Diagnostic: credits of each VCPU of a named domain.
+    pub fn credits_of(&self, name: &str) -> Vec<i32> {
+        if name == "dom0" {
+            return self.sched.credits_all(self.dom0);
+        }
+        self.vms
+            .iter()
+            .find(|v| v.name == name)
+            .map(|v| self.sched.credits_all(v.dom))
+            .unwrap_or_default()
+    }
+
+    /// Overrides a domain's scheduling weight by name ("web", "dom1", …).
+    /// Returns `false` if no such domain exists. Used by experiments that
+    /// evaluate static weight assignments.
+    pub fn set_weight_by_name(&mut self, name: &str, weight: u32) -> bool {
+        if name == "dom0" {
+            return self.sched.set_weight(self.dom0, weight).is_ok();
+        }
+        let Some(slot) = self.vms.iter().position(|v| v.name == name) else {
+            return false;
+        };
+        self.sched.set_weight(self.vms[slot].dom, weight).is_ok()
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    /// Runs the simulation for `duration` and returns the measurements.
+    pub fn run(&mut self, duration: Nanos) -> RunReport {
+        let t_end = self.now + duration;
+        self.run_end = t_end;
+        self.q.schedule(self.now + self.sample_period, Ev::Sample);
+        self.start_workload();
+        loop {
+            #[derive(PartialEq)]
+            enum Src {
+                Queue,
+                Sched,
+                Ixp,
+                Link,
+                Mbx,
+                None,
+            }
+            let mut t = Nanos::MAX;
+            let mut src = Src::None;
+            if let Some(x) = self.q.peek_time() {
+                if x < t {
+                    t = x;
+                    src = Src::Queue;
+                }
+            }
+            if let Some(x) = self.sched.next_event_time() {
+                if x < t {
+                    t = x;
+                    src = Src::Sched;
+                }
+            }
+            if let Some(x) = self.ixp.next_event_time() {
+                if x < t {
+                    t = x;
+                    src = Src::Ixp;
+                }
+            }
+            if let Some(x) = self.link.next_event_time() {
+                if x < t {
+                    t = x;
+                    src = Src::Link;
+                }
+            }
+            if let Some(x) = self.mbx.next_event_time() {
+                if x < t {
+                    t = x;
+                    src = Src::Mbx;
+                }
+            }
+            if src == Src::None || t > t_end {
+                break;
+            }
+            self.now = t;
+            match src {
+                Src::Queue => {
+                    let (_, ev) = self.q.pop().expect("peeked");
+                    self.handle_ev(ev);
+                }
+                Src::Sched => {
+                    let evs = self.sched.on_timer(t);
+                    self.absorb_sched(evs);
+                }
+                Src::Ixp => {
+                    let evs = self.ixp.on_timer(t);
+                    self.absorb_ixp(evs);
+                }
+                Src::Link => {
+                    let evs = self.link.on_timer(t);
+                    self.absorb_link(evs);
+                }
+                Src::Mbx => {
+                    let msgs = self.mbx.on_timer(t);
+                    for m in msgs {
+                        self.handle_coord_delivery(m);
+                    }
+                }
+                Src::None => unreachable!(),
+            }
+        }
+        self.now = t_end;
+        let evs = self.sched.on_timer(t_end);
+        self.absorb_sched(evs);
+        self.build_report(duration)
+    }
+
+    fn start_workload(&mut self) {
+        if let Some(r) = self.rubis.as_ref() {
+            let n = r.clients.len();
+            for c in 0..n as u32 {
+                // Stagger initial arrivals across the first think time.
+                let jitter = Nanos::from_micros(self.rng.range(0, 100_000));
+                self.q.schedule(self.now + jitter, Ev::ClientSend(c));
+            }
+        }
+        for i in 0..self.players.len() {
+            match self.players[i].player.source() {
+                Source::Network => {
+                    // RTSP setup packet first, then paced frames.
+                    let spec = self.players[i].player.spec();
+                    let vm = self.players[i].vm_index;
+                    let id = self.players[i].next_pkt_id;
+                    self.players[i].next_pkt_id += 1;
+                    let setup = spec.setup_packet(id, vm);
+                    self.q.schedule(self.now + self.costs.wire_latency, Ev::WireArrive(setup));
+                    self.q
+                        .schedule(self.now + Nanos::from_millis(50), Ev::FrameGen(i));
+                }
+                Source::LocalDisk => {
+                    self.submit_decode(i);
+                }
+            }
+        }
+        let streams = self.dom0_hog.ceil() as u32;
+        for _ in 0..streams {
+            self.submit_background();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle_ev(&mut self, ev: Ev) {
+        match ev {
+            Ev::WireArrive(pkt) => {
+                let now = self.now;
+                let evs = self.ixp.rx_from_wire(now, pkt);
+                self.absorb_ixp(evs);
+            }
+            Ev::ClientSend(client) => self.client_send(client),
+            Ev::FrameGen(i) => self.frame_gen(i),
+            Ev::BackgroundKick => self.submit_background(),
+            Ev::Rto { req, attempt } => self.client_rto(req, attempt),
+            Ev::Sample => self.take_sample(),
+        }
+    }
+
+    pub(crate) fn absorb_sched(&mut self, evs: Vec<SchedEvent>) {
+        for ev in evs {
+            let SchedEvent::Completed { tag, .. } = ev;
+            let Some(ctx) = self.tags.remove(&tag) else { continue };
+            self.handle_ctx(ctx);
+        }
+    }
+
+    fn handle_ctx(&mut self, ctx: Ctx) {
+        match ctx {
+            Ctx::DriverService => {
+                self.driver_pending = false;
+                let now = self.now;
+                let pkts = self.link.host_take(now, usize::MAX);
+                for (flow, pkt) in pkts {
+                    self.deliver_to_guest(flow, pkt);
+                }
+            }
+            Ctx::TierDone { req, tier } => self.rubis_tier_done(req, tier),
+            Ctx::HopDone { req, tier } => self.rubis_hop_done(req, tier),
+            Ctx::RespOut { req } => self.rubis_resp_out(req),
+            Ctx::Decode { player } => self.decode_done(player),
+            Ctx::Background => {
+                // Per-stream duty cycle: a hog of e.g. 1.5 runs two
+                // streams at 75% duty each.
+                let streams = self.dom0_hog.ceil().max(1.0);
+                let duty = (self.dom0_hog / streams).clamp(0.0, 1.0);
+                if duty >= 1.0 {
+                    self.submit_background();
+                } else if duty > 0.0 {
+                    let gap = self.hog_chunk * ((1.0 - duty) / duty);
+                    self.q.schedule(self.now + gap, Ev::BackgroundKick);
+                }
+            }
+            Ctx::CoordApply { msg } => {
+                self.coord_inflight = false;
+                self.apply_coord_msg(msg);
+                self.pump_coord_applies();
+            }
+        }
+    }
+
+    pub(crate) fn absorb_ixp(&mut self, evs: Vec<IxpEvent>) {
+        for ev in evs {
+            match ev {
+                IxpEvent::Classified { flow, pkt, .. } => self.on_classified(flow, pkt),
+                IxpEvent::DeliverToHost { flow, pkt, .. } => {
+                    let now = self.now;
+                    self.link.post_to_host(now, flow, pkt);
+                }
+                IxpEvent::BufferAlarm { flow, bytes, .. } => self.on_buffer_alarm(flow, bytes),
+                IxpEvent::TransmitToWire { pkt, .. } => self.on_wire_tx(pkt),
+            }
+        }
+    }
+
+    pub(crate) fn absorb_link(&mut self, evs: Vec<PcieEvent>) {
+        for ev in evs {
+            match ev {
+                PcieEvent::HostNotify { pending, .. } => {
+                    if !self.driver_pending {
+                        self.driver_pending = true;
+                        let cost = self.costs.driver_base
+                            + self.costs.driver_per_desc * pending as u64;
+                        let tag = self.alloc_tag(Ctx::DriverService);
+                        let dom0 = self.dom0;
+                        self.submit(dom0, Burst::system(cost, tag), WakeMode::Boost);
+                    }
+                }
+                PcieEvent::TxArrived { pkt, .. } => {
+                    let now = self.now;
+                    let evs = self.ixp.tx_from_host(now, pkt);
+                    self.absorb_ixp(evs);
+                }
+            }
+        }
+    }
+
+    fn on_classified(&mut self, flow: FlowId, pkt: Packet) {
+        let obs = match pkt.app {
+            AppTag::Http { class_id, write } => Some(Observation::Request { class_id, write }),
+            AppTag::RtspSetup { kbps, fps } => {
+                let entity = self
+                    .ixp
+                    .vm_of_flow(flow)
+                    .and_then(|vm| self.slot_by_vm(vm))
+                    .map(|i| self.vms[i].entity);
+                entity.map(|entity| Observation::StreamInfo { entity, kbps, fps })
+            }
+            _ => None,
+        };
+        if let Some(obs) = obs {
+            let now = self.now;
+            let msgs = self.policy.observe(now, &obs);
+            self.send_coord(msgs);
+        }
+    }
+
+    fn on_buffer_alarm(&mut self, flow: FlowId, bytes: u64) {
+        let Some(entity) = self
+            .ixp
+            .vm_of_flow(flow)
+            .and_then(|vm| self.slot_by_vm(vm))
+            .map(|i| self.vms[i].entity)
+        else {
+            return;
+        };
+        let now = self.now;
+        let msgs = self.policy.observe(
+            now,
+            &Observation::BufferLevel { entity, bytes, crossed: true },
+        );
+        self.send_coord(msgs);
+    }
+
+    fn send_coord(&mut self, msgs: Vec<CoordMsg>) {
+        let now = self.now;
+        for m in msgs {
+            let mut buf = Vec::new();
+            let n = coord::wire::encode(&m, &mut buf);
+            self.coord.messages_sent += 1;
+            self.coord.bytes_sent += n as u64;
+            self.mbx.send(now, buf);
+        }
+    }
+
+    fn handle_coord_delivery(&mut self, bytes: Vec<u8>) {
+        let Ok((msg, _)) = coord::wire::decode(&bytes) else {
+            return;
+        };
+        if msg.is_urgent() {
+            // Triggers are interrupt-like: applied in interrupt context,
+            // not through a scheduled Dom0 burst.
+            self.apply_coord_msg(msg);
+        } else {
+            self.coord_pending.push_back(msg);
+            self.pump_coord_applies();
+        }
+    }
+
+    /// Keeps exactly one Dom0 coordination-apply burst in flight so Tune
+    /// deltas land in channel order.
+    fn pump_coord_applies(&mut self) {
+        if self.coord_inflight {
+            return;
+        }
+        let Some(msg) = self.coord_pending.pop_front() else { return };
+        self.coord_inflight = true;
+        let cost = self.costs.coord_apply;
+        let tag = self.alloc_tag(Ctx::CoordApply { msg });
+        let dom0 = self.dom0;
+        self.submit(dom0, Burst::system(cost, tag), WakeMode::Boost);
+    }
+
+    fn apply_coord_msg(&mut self, msg: CoordMsg) {
+        let now = self.now;
+        let actions = self.controller.handle(now, msg);
+        for a in actions {
+            self.apply_action(a);
+        }
+    }
+
+    fn apply_action(&mut self, action: Action) {
+        match action {
+            Action::ApplyTune { island, local_key, delta } if island == X86 => {
+                let dom = DomId(local_key as u32);
+                if let Ok(w) = self.sched.weight(dom) {
+                    let new = (w as i64 + delta as i64).clamp(1, 65_535) as u32;
+                    let _ = self.sched.set_weight(dom, new);
+                    self.coord.tunes_applied += 1;
+                    let now = self.now;
+                    self.trace
+                        .record(now, format!("tune {dom}: weight {w} -> {new}"));
+                }
+            }
+            Action::ApplyTune { island, local_key, delta } if island == IXP => {
+                let flow = FlowId(local_key as u32);
+                let cur = self.ixp.flow_threads(flow) as i64;
+                let new = (cur + delta as i64).clamp(1, 16) as u32;
+                self.ixp.set_flow_threads(flow, new);
+                self.coord.tunes_applied += 1;
+            }
+            Action::ApplyTrigger { island, local_key } if island == X86 => {
+                let dom = DomId(local_key as u32);
+                if std::env::var_os("COORD_TRIGGER_DEBUG").is_some() {
+                    eprintln!("trigger dom{} state={:?} prio={:?} credit={:?}",
+                        local_key, self.sched.run_state(dom), self.sched.priority(dom),
+                        self.sched.credit(dom));
+                }
+                let now = self.now;
+                if let Ok(evs) = self.sched.boost_front(now, dom) {
+                    self.absorb_sched(evs);
+                    // §3.3: the x86 island translates the preemptive
+                    // request into a credit adjustment as well as the
+                    // runqueue promotion.
+                    let _ = self.sched.grant_credit(dom, 100);
+                    self.coord.triggers_applied += 1;
+                    self.trace.record(now, format!("trigger {dom}: boost + credit grant"));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Guest delivery with receive-window backpressure
+    // ------------------------------------------------------------------
+
+    fn deliver_to_guest(&mut self, flow: FlowId, pkt: Packet) {
+        let Some(vm) = self.ixp.vm_of_flow(flow) else { return };
+        let Some(slot) = self.slot_by_vm(vm) else { return };
+        if self.vms[slot].inflight_rx < self.costs.guest_rx_cap {
+            self.vms[slot].inflight_rx += 1;
+            self.delivered += 1;
+            let now = self.now;
+            let evs = self.ixp.host_ack(now, flow, 1);
+            self.absorb_ixp(evs);
+            self.route_into_guest(vm, pkt);
+        } else if (self.vms[slot].hold.len() as u32) < self.costs.guest_hold_cap {
+            self.vms[slot].hold.push_back(pkt);
+        } else {
+            // Netfront/accept-queue overflow: the packet is lost and the
+            // client will retransmit after its timeout.
+            self.guest_drops += 1;
+        }
+    }
+
+    /// Releases `n` units of a guest's receive window, pulling held
+    /// packets through.
+    pub(crate) fn consume_rx(&mut self, vm: u32, n: u32) {
+        let Some(slot) = self.slot_by_vm(vm) else { return };
+        let flow = self.vms[slot].flow;
+        for _ in 0..n {
+            if self.vms[slot].inflight_rx > 0 {
+                self.vms[slot].inflight_rx -= 1;
+            }
+        }
+        while self.vms[slot].inflight_rx < self.costs.guest_rx_cap {
+            let Some(pkt) = self.vms[slot].hold.pop_front() else { break };
+            self.vms[slot].inflight_rx += 1;
+            self.delivered += 1;
+            if let Some(f) = flow {
+                let now = self.now;
+                let evs = self.ixp.host_ack(now, f, 1);
+                self.absorb_ixp(evs);
+            }
+            self.route_into_guest(vm, pkt);
+        }
+    }
+
+    fn route_into_guest(&mut self, vm: u32, pkt: Packet) {
+        match pkt.app {
+            AppTag::Http { .. } => self.rubis_request_arrived(vm, pkt),
+            AppTag::Rtp { .. } | AppTag::UdpBulk => self.media_data_arrived(vm, pkt),
+            AppTag::RtspSetup { .. } => {
+                // Session setup costs the guest a negligible burst; the
+                // interesting side effect (policy) already happened at
+                // classification. Release the window unit immediately.
+                self.consume_rx(vm, 1);
+            }
+            AppTag::HttpResponse { .. } | AppTag::Plain => {
+                self.consume_rx(vm, 1);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Measurement
+    // ------------------------------------------------------------------
+
+    fn take_sample(&mut self) {
+        let now = self.now;
+        let snap = self.sched.usage_snapshot();
+        let mut samples: Vec<DomainSample> = Vec::new();
+        let mut total_pct = 0.0;
+        for (dom, usage) in snap.iter() {
+            let cum = usage.running();
+            let prev = self.cpu_prev.get(&dom).copied().unwrap_or(Nanos::ZERO);
+            let pct = (cum.saturating_sub(prev)) / self.sample_period * 100.0;
+            self.cpu_series.entry(dom).or_default().push(now, pct);
+            self.cpu_prev.insert(dom, cum);
+            total_pct += pct;
+            let name = if dom == self.dom0 {
+                "dom0".to_owned()
+            } else {
+                self.vms
+                    .iter()
+                    .find(|v| v.dom == dom)
+                    .map(|v| v.name.clone())
+                    .unwrap_or_else(|| dom.to_string())
+            };
+            samples.push(DomainSample { name, cpu_percent: pct });
+        }
+        // Modelled platform power: CPU package + network processor.
+        let util = (total_pct / 100.0 / self.ncpus as f64).clamp(0.0, 1.0);
+        let window_pkts = self.delivered.saturating_sub(self.delivered_prev);
+        self.delivered_prev = self.delivered;
+        let kpps = window_pkts as f64 / self.sample_period.as_secs_f64() / 1000.0;
+        let watts = self.cpu_power.watts(util) + self.ixp_power.watts(kpps);
+        self.power_series.push(now, watts);
+        if let Some(gov) = self.power_gov.as_mut() {
+            let actions = gov.sample(now, watts, &samples);
+            for a in actions {
+                let dom = if a.name == "dom0" {
+                    Some(self.dom0)
+                } else {
+                    self.vms.iter().find(|v| v.name == a.name).map(|v| v.dom)
+                };
+                if let Some(d) = dom {
+                    let _ = self.sched.set_cap(d, a.cap_percent);
+                }
+            }
+        }
+        if let Some(flow) = self.monitored_flow {
+            self.buffer_series
+                .push(now, self.ixp.flow_queue_bytes(flow) as f64);
+        }
+        if now + self.sample_period <= self.run_end {
+            self.q.schedule(now + self.sample_period, Ev::Sample);
+        }
+    }
+
+    fn build_report(&mut self, duration: Nanos) -> RunReport {
+        let snap = self.sched.usage_snapshot();
+        let mut cpu = Vec::new();
+        let mut total = 0.0;
+        let mut names: Vec<(DomId, String)> =
+            vec![(self.dom0, "dom0".to_owned())];
+        for v in &self.vms {
+            names.push((v.dom, v.name.clone()));
+        }
+        for (dom, name) in &names {
+            let pct = snap.cpu_percent(*dom);
+            total += pct;
+            cpu.push(DomCpu {
+                name: name.clone(),
+                percent: pct,
+                user: snap.user_percent(*dom),
+                system: snap.system_percent(*dom),
+                steal: snap.steal_percent(*dom),
+            });
+        }
+        let throughput = self.sessions.throughput(duration);
+        let rubis = RubisReport {
+            responses: std::mem::take(&mut self.responses),
+            completed: self.sessions.requests(),
+            throughput,
+            sessions: self.sessions.sessions(),
+            avg_session_secs: self.sessions.avg_session_secs(),
+        };
+        let players = self
+            .players
+            .iter()
+            .map(|p| PlayerReport {
+                name: format!("dom{}", p.vm_index),
+                target_fps: p.player.spec().fps,
+                achieved_fps: p.player.achieved_fps(self.now),
+                frames: p.player.frames_decoded(),
+            })
+            .collect();
+        let cpu_series = names
+            .iter()
+            .map(|(dom, name)| {
+                (
+                    name.clone(),
+                    self.cpu_series.get(dom).cloned().unwrap_or_default(),
+                )
+            })
+            .collect();
+        let flow_drops: u64 = self
+            .vms
+            .iter()
+            .filter_map(|v| v.flow)
+            .filter_map(|f| self.ixp.flow_stats(f))
+            .map(|s| s.dropped)
+            .sum();
+        let efficiency = if self.rubis.is_some() {
+            platform_efficiency(throughput, total)
+        } else {
+            0.0
+        };
+        let power = PowerReport {
+            cap_watts: self.power_gov.as_ref().map(|g| g.cap_watts()),
+            mean_watts: self.power_series.mean(),
+            max_watts: self.power_series.max_value().unwrap_or(0.0),
+            cap_actions: self.power_gov.as_ref().map(|g| g.actions_applied()).unwrap_or(0),
+            series: std::mem::take(&mut self.power_series),
+        };
+        RunReport {
+            duration,
+            policy: self.policy.name().to_owned(),
+            rubis,
+            players,
+            cpu,
+            total_cpu_percent: total,
+            efficiency,
+            coord: CoordReport {
+                messages_sent: self.coord.messages_sent,
+                bytes_sent: self.coord.bytes_sent,
+                tunes_applied: self.coord.tunes_applied,
+                triggers_applied: self.coord.triggers_applied,
+                rejected: self.controller.stats().rejected,
+            },
+            net: NetReport {
+                ixp_drops: flow_drops,
+                link_drops: self.link.stats().ring_full_drops,
+                unroutable: self.ixp.unroutable(),
+                delivered: self.delivered,
+                guest_drops: self.guest_drops,
+            },
+            cpu_series,
+            buffer_series: std::mem::take(&mut self.buffer_series),
+            power,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dom0 background load
+    // ------------------------------------------------------------------
+
+    fn submit_background(&mut self) {
+        let chunk = self.hog_chunk;
+        let tag = self.alloc_tag(Ctx::Background);
+        let dom0 = self.dom0;
+        // Dom0's background load is event-driven (interrupt handlers,
+        // backend processing): its wakes are event-channel wakes and
+        // boost like any other I/O work.
+        self.submit(dom0, Burst::system(chunk, tag), WakeMode::Boost);
+    }
+}

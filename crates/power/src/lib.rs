@@ -1,0 +1,36 @@
+//! # power — platform-level power modelling and coordinated capping
+//!
+//! The paper's second motivating use case (§1): "while power budgeting can
+//! be performed on a per tile-basis, it is well-known that properties like
+//! caps on total power usage must be obtained at platform level … turning
+//! off or slowing down processors in certain tiles may negatively impact
+//! the performance of application components executing on others.
+//! Maintaining desired global platform properties, therefore, implies the
+//! need for coordination mechanisms, which at the same time act to
+//! preserve application-level quality of service." Power/CPU coordination
+//! is also the first item of the paper's §5 ongoing work.
+//!
+//! This crate provides:
+//!
+//! * [`CpuPowerModel`] / [`IxpPowerModel`] — utilization→watts models for
+//!   the two islands (affine CPU model; static + per-packet NP model);
+//! * [`PowerGovernor`] — a sampling governor that keeps total platform
+//!   power under a cap by adjusting per-domain CPU caps, with two victim
+//!   strategies: the uncoordinated [`Strategy::BiggestConsumer`] (cap
+//!   whoever burns most — per-tile logic with no application knowledge)
+//!   and the coordinated [`Strategy::Priority`] (cap in an
+//!   application-aware order, background load first).
+//!
+//! Experiment P1 in the `bench` crate shows the paper's point: at the same
+//! watt cap, the priority strategy preserves stream QoS while the
+//! biggest-consumer strategy destroys it — and, against an elastic
+//! background load, barely saves any power.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod governor;
+mod model;
+
+pub use governor::{CapAction, DomainSample, PowerGovernor, Strategy};
+pub use model::{CpuPowerModel, IxpPowerModel};

@@ -1,0 +1,112 @@
+//! Island power models.
+
+/// Affine CPU power model: `watts = idle + (peak − idle) × utilization`,
+/// with utilization as a fraction of the whole package (0..=1).
+///
+/// Defaults approximate a 2006-era dual-core Xeon package.
+///
+/// # Example
+///
+/// ```
+/// use power::CpuPowerModel;
+/// let m = CpuPowerModel::xeon_2006();
+/// assert_eq!(m.watts(0.0), 40.0);
+/// assert_eq!(m.watts(1.0), 90.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuPowerModel {
+    /// Package idle power in watts.
+    pub idle_w: f64,
+    /// Package power at full utilization.
+    pub peak_w: f64,
+}
+
+impl CpuPowerModel {
+    /// A dual-core 2.66 GHz Xeon package of the paper's era.
+    pub fn xeon_2006() -> Self {
+        CpuPowerModel {
+            idle_w: 40.0,
+            peak_w: 90.0,
+        }
+    }
+
+    /// Power at `utilization` (clamped to 0..=1 of the package).
+    pub fn watts(&self, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        self.idle_w + (self.peak_w - self.idle_w) * u
+    }
+}
+
+impl Default for CpuPowerModel {
+    fn default() -> Self {
+        Self::xeon_2006()
+    }
+}
+
+/// Network-processor power model: a dominant static component (the
+/// IXP2850's microengines run whether or not packets flow) plus a small
+/// per-traffic term.
+///
+/// # Example
+///
+/// ```
+/// use power::IxpPowerModel;
+/// let m = IxpPowerModel::ixp2850();
+/// assert!(m.watts(0.0) >= 20.0);
+/// assert!(m.watts(500.0) > m.watts(0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IxpPowerModel {
+    /// Static power in watts.
+    pub static_w: f64,
+    /// Additional watts per 1000 packets/second of traffic.
+    pub per_kpps_w: f64,
+}
+
+impl IxpPowerModel {
+    /// The IXP2850 network processor (~25 W typical).
+    pub fn ixp2850() -> Self {
+        IxpPowerModel {
+            static_w: 25.0,
+            per_kpps_w: 0.02,
+        }
+    }
+
+    /// Power at `kpps` thousand packets per second.
+    pub fn watts(&self, kpps: f64) -> f64 {
+        self.static_w + self.per_kpps_w * kpps.max(0.0)
+    }
+}
+
+impl Default for IxpPowerModel {
+    fn default() -> Self {
+        Self::ixp2850()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_model_is_affine_and_clamped() {
+        let m = CpuPowerModel { idle_w: 10.0, peak_w: 110.0 };
+        assert_eq!(m.watts(0.5), 60.0);
+        assert_eq!(m.watts(-1.0), 10.0);
+        assert_eq!(m.watts(2.0), 110.0);
+    }
+
+    #[test]
+    fn ixp_model_scales_with_traffic() {
+        let m = IxpPowerModel { static_w: 20.0, per_kpps_w: 0.1 };
+        assert_eq!(m.watts(0.0), 20.0);
+        assert_eq!(m.watts(100.0), 30.0);
+        assert_eq!(m.watts(-5.0), 20.0);
+    }
+
+    #[test]
+    fn defaults_are_the_paper_era_parts() {
+        assert_eq!(CpuPowerModel::default(), CpuPowerModel::xeon_2006());
+        assert_eq!(IxpPowerModel::default(), IxpPowerModel::ixp2850());
+    }
+}

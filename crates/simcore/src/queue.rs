@@ -1,0 +1,209 @@
+//! Time-ordered event queue with FIFO tie-breaking and cancellation.
+
+use crate::Nanos;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// An opaque handle identifying a scheduled event, usable to cancel it.
+///
+/// Keys are unique for the lifetime of the queue that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventKey(u64);
+
+/// A discrete-event queue ordered by time.
+///
+/// Two events scheduled for the same instant pop in the order they were
+/// scheduled (FIFO), which keeps simulations deterministic. Events can be
+/// cancelled by [`EventKey`]; cancelled entries are dropped lazily on pop.
+///
+/// # Example
+///
+/// ```
+/// use simcore::{EventQueue, Nanos};
+///
+/// let mut q = EventQueue::new();
+/// let _k1 = q.schedule(Nanos::from_micros(10), 'a');
+/// let k2 = q.schedule(Nanos::from_micros(10), 'b');
+/// q.cancel(k2);
+/// assert_eq!(q.pop(), Some((Nanos::from_micros(10), 'a')));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Seqs of entries still in `heap` that have not been cancelled.
+    live: HashSet<u64>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Nanos,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`, returning a cancellation
+    /// key.
+    pub fn schedule(&mut self, time: Nanos, event: E) -> EventKey {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+        self.live.insert(seq);
+        EventKey(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending (it will never be popped), `false` if it had already
+    /// popped or was cancelled before.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        self.live.remove(&key.0)
+    }
+
+    /// The time of the earliest pending (non-cancelled) event.
+    pub fn peek_time(&mut self) -> Option<Nanos> {
+        self.drop_cancelled();
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Removes and returns the earliest pending event with its time.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        self.drop_cancelled();
+        self.heap.pop().map(|Reverse(e)| {
+            self.live.remove(&e.seq);
+            (e.time, e.event)
+        })
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `true` if no pending events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    fn drop_cancelled(&mut self) {
+        while let Some(Reverse(e)) = self.heap.peek() {
+            if self.live.contains(&e.seq) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(30), 3);
+        q.schedule(Nanos(10), 1);
+        q.schedule(Nanos(20), 2);
+        assert_eq!(q.pop(), Some((Nanos(10), 1)));
+        assert_eq!(q.pop(), Some((Nanos(20), 2)));
+        assert_eq!(q.pop(), Some((Nanos(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_at_same_time() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Nanos(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Nanos(5), i)));
+        }
+    }
+
+    #[test]
+    fn cancel_pending() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Nanos(1), 'a');
+        let b = q.schedule(Nanos(2), 'b');
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Nanos(2), 'b')));
+        assert!(!q.cancel(b), "already popped events cannot be cancelled");
+    }
+
+    #[test]
+    fn cancel_twice_is_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Nanos(1), ());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Nanos(1), 'a');
+        q.schedule(Nanos(2), 'b');
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(Nanos(2)));
+    }
+
+    #[test]
+    fn is_empty_accounts_for_cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Nanos(1), ());
+        assert!(!q.is_empty());
+        q.cancel(a);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(10), 1);
+        assert_eq!(q.pop(), Some((Nanos(10), 1)));
+        q.schedule(Nanos(5), 2);
+        q.schedule(Nanos(7), 3);
+        assert_eq!(q.pop(), Some((Nanos(5), 2)));
+        q.schedule(Nanos(6), 4);
+        assert_eq!(q.pop(), Some((Nanos(6), 4)));
+        assert_eq!(q.pop(), Some((Nanos(7), 3)));
+    }
+}

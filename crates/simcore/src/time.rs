@@ -1,0 +1,317 @@
+//! Simulated time: [`Nanos`] (absolute or relative nanoseconds) and
+//! [`Cycles`] (processor clock domain, used by the IXP model).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// A quantity of simulated time in nanoseconds.
+///
+/// `Nanos` is used both for absolute timestamps (time since simulation
+/// start) and durations; the arithmetic is the same and the simulation
+/// never runs long enough for `u64` nanoseconds (~584 years) to overflow.
+///
+/// # Example
+///
+/// ```
+/// use simcore::Nanos;
+/// let t = Nanos::from_millis(30) + Nanos::from_micros(500);
+/// assert_eq!(t.as_micros(), 30_500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// The zero instant / empty duration.
+    pub const ZERO: Nanos = Nanos(0);
+    /// The largest representable time; used as an "infinite" horizon.
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// Creates a time from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Creates a time from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Creates a time from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Creates a time from fractional seconds, rounding to the nearest
+    /// nanosecond. Negative inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        Nanos((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Subtraction that clamps at zero rather than underflowing.
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Addition that clamps at [`Nanos::MAX`].
+    pub fn saturating_add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_add(rhs.0))
+    }
+
+    /// The smaller of two times.
+    pub fn min(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.min(rhs.0))
+    }
+
+    /// The larger of two times.
+    pub fn max(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.max(rhs.0))
+    }
+
+    /// `true` if this is the zero time.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Nanos {
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Mul<f64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: f64) -> Nanos {
+        Nanos((self.0 as f64 * rhs).round() as u64)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Div<Nanos> for Nanos {
+    /// Ratio of two durations.
+    type Output = f64;
+    fn div(self, rhs: Nanos) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl Rem for Nanos {
+    type Output = Nanos;
+    fn rem(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+/// A quantity of processor clock cycles in some clock domain.
+///
+/// The IXP2850 microengines run at 1.4 GHz; [`Cycles::to_nanos`] converts a
+/// cycle count into simulated time given a clock frequency.
+///
+/// # Example
+///
+/// ```
+/// use simcore::Cycles;
+/// // 1400 cycles at 1.4 GHz is exactly 1 µs.
+/// assert_eq!(Cycles(1400).to_nanos(1.4e9).as_nanos(), 1000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Converts a cycle count at `hz` cycles/second into [`Nanos`],
+    /// rounding to the nearest nanosecond.
+    pub fn to_nanos(self, hz: f64) -> Nanos {
+        Nanos((self.0 as f64 / hz * 1e9).round() as u64)
+    }
+
+    /// Raw cycle count.
+    pub const fn count(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Nanos::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(Nanos::from_millis(3).as_micros(), 3_000);
+        assert_eq!(Nanos::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(Nanos::from_secs_f64(0.5).as_millis(), 500);
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_negative() {
+        assert_eq!(Nanos::from_secs_f64(-1.0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanos::from_millis(10);
+        let b = Nanos::from_millis(4);
+        assert_eq!(a + b, Nanos::from_millis(14));
+        assert_eq!(a - b, Nanos::from_millis(6));
+        assert_eq!(a * 3, Nanos::from_millis(30));
+        assert_eq!(a / 2, Nanos::from_millis(5));
+        assert!((a / b - 2.5).abs() < 1e-12);
+        assert_eq!(a % b, Nanos::from_millis(2));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Nanos(1).saturating_sub(Nanos(5)), Nanos::ZERO);
+        assert_eq!(Nanos::MAX.saturating_add(Nanos(1)), Nanos::MAX);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Nanos(3).min(Nanos(5)), Nanos(3));
+        assert_eq!(Nanos(3).max(Nanos(5)), Nanos(5));
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(Nanos(5).to_string(), "5ns");
+        assert_eq!(Nanos::from_micros(2).to_string(), "2.000us");
+        assert_eq!(Nanos::from_millis(2).to_string(), "2.000ms");
+        assert_eq!(Nanos::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn cycles_to_nanos() {
+        assert_eq!(Cycles(1400).to_nanos(1.4e9), Nanos(1000));
+        assert_eq!(Cycles(0).to_nanos(1.4e9), Nanos::ZERO);
+        assert_eq!((Cycles(100) + Cycles(50)).count(), 150);
+        assert_eq!((Cycles(10) * 4).count(), 40);
+    }
+
+    #[test]
+    fn sum_impls() {
+        let total: Nanos = [Nanos(1), Nanos(2), Nanos(3)].into_iter().sum();
+        assert_eq!(total, Nanos(6));
+        let cy: Cycles = [Cycles(4), Cycles(5)].into_iter().sum();
+        assert_eq!(cy, Cycles(9));
+    }
+}

@@ -1,0 +1,134 @@
+//! Lightweight bounded event tracing for debugging simulations.
+//!
+//! A [`TraceBuffer`] is a fixed-capacity ring of timestamped records.
+//! Components record human-readable events cheaply; when something goes
+//! wrong, the most recent history is available without having logged the
+//! entire run. The platform uses one to expose its coordination-decision
+//! history.
+
+use crate::Nanos;
+use std::collections::VecDeque;
+
+/// A bounded ring of `(time, message)` trace records.
+///
+/// # Example
+///
+/// ```
+/// use simcore::{trace::TraceBuffer, Nanos};
+///
+/// let mut t = TraceBuffer::new(2);
+/// t.record(Nanos::from_millis(1), "first");
+/// t.record(Nanos::from_millis(2), "second");
+/// t.record(Nanos::from_millis(3), "third"); // evicts "first"
+/// let msgs: Vec<_> = t.iter().map(|(_, m)| m.as_str()).collect();
+/// assert_eq!(msgs, vec!["second", "third"]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    records: VecDeque<(Nanos, String)>,
+    capacity: usize,
+    recorded: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding at most `capacity` records (0 disables
+    /// recording entirely).
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            recorded: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn record(&mut self, now: Nanos, message: impl Into<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back((now, message.into()));
+        self.recorded += 1;
+    }
+
+    /// The retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &(Nanos, String)> {
+        self.records.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total records ever written (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Renders the retained records, one per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for (t, m) in &self.records {
+            out.push_str(&format!("[{t}] {m}\n"));
+        }
+        out
+    }
+
+    /// Clears retained records (the total count is preserved).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = TraceBuffer::new(3);
+        for i in 0..5u64 {
+            t.record(Nanos(i), format!("e{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.recorded(), 5);
+        let first = t.iter().next().unwrap();
+        assert_eq!(first.1, "e2");
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut t = TraceBuffer::new(0);
+        t.record(Nanos(1), "x");
+        assert!(t.is_empty());
+        assert_eq!(t.recorded(), 0);
+    }
+
+    #[test]
+    fn dump_is_line_per_record() {
+        let mut t = TraceBuffer::new(8);
+        t.record(Nanos::from_millis(1), "alpha");
+        t.record(Nanos::from_millis(2), "beta");
+        let dump = t.dump();
+        assert_eq!(dump.lines().count(), 2);
+        assert!(dump.contains("alpha"));
+        assert!(dump.contains("1.000ms"));
+    }
+
+    #[test]
+    fn clear_keeps_total() {
+        let mut t = TraceBuffer::new(2);
+        t.record(Nanos(1), "a");
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.recorded(), 1);
+    }
+}

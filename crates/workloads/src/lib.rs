@@ -1,0 +1,39 @@
+//! # workloads — RUBiS and MPlayer application models
+//!
+//! The paper evaluates coordination with two widely-used benchmarks
+//! (§3): **RUBiS**, an eBay-like three-tier auction site (Apache web
+//! server, Tomcat servlet application server, MySQL database, each in its
+//! own Xen VM), and **MPlayer**, a media player decoding RTSP/UDP video
+//! streams inside guest VMs.
+//!
+//! Neither real application can run on a simulator, so this crate models
+//! what the coordination schemes actually interact with:
+//!
+//! * [`rubis`] — the 16 request types of Table 1 with per-tier CPU service
+//!   demands (derived from the paper's offline profiling narrative: read
+//!   requests stress web↔app, write/servlet requests stress app↔db), the
+//!   two standard client mixes (browsing and bid/browse/sell), and a
+//!   closed-loop session generator with think times.
+//! * [`mplayer`] — stream specifications (bit rate, frame rate), a paced
+//!   frame/packet schedule, and a per-frame decode cost model calibrated
+//!   so that the Figure 6 weight configurations reproduce the paper's
+//!   meets/misses pattern.
+//!
+//! ## Example
+//!
+//! ```
+//! use workloads::rubis::{Mix, RubisModel, RubisConfig};
+//!
+//! let mut model = RubisModel::new(RubisConfig::default(), 42);
+//! let rt = model.next_request();
+//! assert!(!rt.name.is_empty());
+//! let demands = model.demands(rt);
+//! assert!(demands.total().as_nanos() > 0);
+//! # let _ = Mix::Browsing;
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod mplayer;
+pub mod rubis;

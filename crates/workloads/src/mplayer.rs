@@ -1,0 +1,254 @@
+//! The MPlayer streaming/decoding model.
+//!
+//! §3.2: MPlayer clients in guest VMs decode video streams served over
+//! RTSP/UDP by a Darwin streaming server. Decode CPU cost depends on
+//! stream characteristics (codec, resolution, bit/frame rate). In
+//! benchmark mode MPlayer decodes as fast as frames are available, so the
+//! reported frames/sec is bounded by both the stream delivery rate and
+//! the CPU share the guest receives.
+//!
+//! The per-frame [decode cost](StreamSpec::decode_cost) is calibrated so
+//! the Figure 6 experiment reproduces: with default weights (256/256)
+//! each guest's demand exceeds its fair entitlement on the contended host
+//! (both miss their frame rate); the paper's coordinated weight
+//! configurations (384/512, then 384/640 with extra IXP threads) restore
+//! the targets in the same order the paper reports.
+
+use ixp::{AppTag, Packet};
+use simcore::Nanos;
+
+/// Maximum RTP payload per packet.
+pub const MTU_BYTES: u32 = 1400;
+
+/// A video stream's characteristics as learned at RTSP session setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamSpec {
+    /// Bit rate in kbit/s.
+    pub kbps: u32,
+    /// Nominal frame rate in frames/s.
+    pub fps: u32,
+}
+
+impl StreamSpec {
+    /// The low-rate stream of Figure 6 (Domain-1): 20 fps at 300 kbit/s.
+    pub fn low() -> Self {
+        StreamSpec { kbps: 300, fps: 20 }
+    }
+
+    /// The high-rate stream of Figure 6 (Domain-2): 25 fps at 1 Mbit/s.
+    pub fn high() -> Self {
+        StreamSpec { kbps: 1000, fps: 25 }
+    }
+
+    /// Interval between frames at the nominal rate.
+    ///
+    /// # Panics
+    /// Panics if `fps == 0`.
+    pub fn frame_interval(&self) -> Nanos {
+        assert!(self.fps > 0, "fps must be positive");
+        Nanos::from_secs(1) / self.fps as u64
+    }
+
+    /// Mean encoded bytes per frame.
+    pub fn bytes_per_frame(&self) -> u32 {
+        (self.kbps as u64 * 1000 / 8 / self.fps as u64) as u32
+    }
+
+    /// RTP packets needed per frame at [`MTU_BYTES`].
+    pub fn packets_per_frame(&self) -> u32 {
+        self.bytes_per_frame().div_ceil(MTU_BYTES).max(1)
+    }
+
+    /// CPU demand to decode one frame.
+    ///
+    /// Modelled as a codec-dependent fixed per-second component spread
+    /// over the frames (high-definition H.264 entropy decoding dominates)
+    /// plus a bit-rate-dependent term:
+    /// `cost = (0.6021 + kbps/4292) / fps` seconds.
+    ///
+    /// Yields 33.6 ms/frame for the 300 kbit/s 20 fps stream and 35 ms/frame
+    /// for the 1 Mbit/s 25 fps stream. At the server's slightly
+    /// over-provisioned delivery rate both streams then demand more than
+    /// the 66.7% fair entitlement of three equal-weight domains on two
+    /// contended cores (Figure 6's default configuration misses), while
+    /// the 384/512 configuration's entitlements cover both (the
+    /// coordinated configuration meets).
+    pub fn decode_cost(&self) -> Nanos {
+        assert!(self.fps > 0, "fps must be positive");
+        Nanos::from_secs_f64((0.6021 + self.kbps as f64 / 4292.0) / self.fps as f64)
+    }
+
+    /// Fraction of one CPU needed to decode at the nominal rate.
+    pub fn cpu_demand(&self) -> f64 {
+        self.decode_cost().as_secs_f64() * self.fps as f64
+    }
+
+    /// The RTSP session-setup packet announcing this stream to `vm`.
+    pub fn setup_packet(&self, id: u64, vm: u32) -> Packet {
+        Packet::new(
+            id,
+            vm,
+            400,
+            AppTag::RtspSetup {
+                kbps: self.kbps,
+                fps: self.fps,
+            },
+        )
+    }
+
+    /// One RTP data packet of this stream addressed to `vm`.
+    pub fn data_packet(&self, id: u64, vm: u32, len: u32) -> Packet {
+        Packet::new(
+            id,
+            vm,
+            len,
+            AppTag::Rtp {
+                kbps: self.kbps,
+                fps: self.fps,
+            },
+        )
+    }
+}
+
+/// How an MPlayer instance obtains its video.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Streamed over the network through the IXP (RTSP/UDP).
+    Network,
+    /// Played from the VM's local disk — no IXP resources used
+    /// (Table 3's interference victim).
+    LocalDisk,
+}
+
+/// One MPlayer instance: a stream spec, its source, and frame accounting.
+#[derive(Debug, Clone)]
+pub struct Player {
+    spec: StreamSpec,
+    source: Source,
+    frames_decoded: u64,
+    started: Nanos,
+    stopped: Option<Nanos>,
+}
+
+impl Player {
+    /// Creates a player that starts counting at `now`.
+    pub fn new(spec: StreamSpec, source: Source, now: Nanos) -> Self {
+        Player {
+            spec,
+            source,
+            frames_decoded: 0,
+            started: now,
+            stopped: None,
+        }
+    }
+
+    /// The stream being played.
+    pub fn spec(&self) -> StreamSpec {
+        self.spec
+    }
+
+    /// Where the video comes from.
+    pub fn source(&self) -> Source {
+        self.source
+    }
+
+    /// Records one decoded frame.
+    pub fn frame_decoded(&mut self) {
+        self.frames_decoded += 1;
+    }
+
+    /// Frames decoded so far.
+    pub fn frames_decoded(&self) -> u64 {
+        self.frames_decoded
+    }
+
+    /// Marks the end of measurement.
+    pub fn stop(&mut self, now: Nanos) {
+        self.stopped = Some(now);
+    }
+
+    /// Achieved frames/sec over the measurement window ending at `now`
+    /// (or at the stop time if stopped).
+    pub fn achieved_fps(&self, now: Nanos) -> f64 {
+        let end = self.stopped.unwrap_or(now);
+        let secs = end.saturating_sub(self.started).as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.frames_decoded as f64 / secs
+    }
+
+    /// Whether the nominal frame rate was met (within `tolerance`
+    /// frames/sec) at `now`.
+    pub fn meets_target(&self, now: Nanos, tolerance: f64) -> bool {
+        self.achieved_fps(now) + tolerance >= self.spec.fps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_streams() {
+        let lo = StreamSpec::low();
+        let hi = StreamSpec::high();
+        assert_eq!(lo.frame_interval(), Nanos::from_millis(50));
+        assert_eq!(hi.frame_interval(), Nanos::from_millis(40));
+        assert_eq!(lo.bytes_per_frame(), 1875);
+        assert_eq!(hi.bytes_per_frame(), 5000);
+        assert_eq!(lo.packets_per_frame(), 2);
+        assert_eq!(hi.packets_per_frame(), 4);
+    }
+
+    #[test]
+    fn decode_calibration_matches_figure6_design() {
+        // At the server's 1.05× delivery pacing both offered demands
+        // exceed the 66.7% fair entitlement of three equal-weight domains
+        // on two cores, and the high stream fits the 88.9% entitlement it
+        // gets at weight 512.
+        let d_lo = StreamSpec::low().cpu_demand() * 1.05;
+        let d_hi = StreamSpec::high().cpu_demand();
+        assert!(d_lo > 0.66 && d_lo < 0.72, "low offered demand {d_lo}");
+        assert!(d_hi > 0.8 && d_hi < 0.889, "high demand {d_hi}");
+    }
+
+    #[test]
+    fn higher_bitrate_costs_more_per_second() {
+        let lo = StreamSpec::low();
+        let hi = StreamSpec::high();
+        assert!(hi.cpu_demand() > lo.cpu_demand());
+    }
+
+    #[test]
+    fn packets_carry_stream_properties() {
+        let s = StreamSpec::high();
+        let setup = s.setup_packet(1, 2);
+        assert!(matches!(setup.app, AppTag::RtspSetup { kbps: 1000, fps: 25 }));
+        let data = s.data_packet(2, 2, 1400);
+        assert!(matches!(data.app, AppTag::Rtp { kbps: 1000, .. }));
+        assert_eq!(data.dst_vm, 2);
+    }
+
+    #[test]
+    fn player_fps_accounting() {
+        let mut p = Player::new(StreamSpec::low(), Source::Network, Nanos::ZERO);
+        for _ in 0..100 {
+            p.frame_decoded();
+        }
+        let fps = p.achieved_fps(Nanos::from_secs(5));
+        assert!((fps - 20.0).abs() < 1e-9);
+        assert!(p.meets_target(Nanos::from_secs(5), 0.5));
+        p.stop(Nanos::from_secs(5));
+        // Counting stops at the stop mark.
+        assert_eq!(p.achieved_fps(Nanos::from_secs(50)), fps);
+        assert_eq!(p.frames_decoded(), 100);
+        assert_eq!(p.source(), Source::Network);
+    }
+
+    #[test]
+    fn zero_window_fps_is_zero() {
+        let p = Player::new(StreamSpec::low(), Source::LocalDisk, Nanos::from_secs(1));
+        assert_eq!(p.achieved_fps(Nanos::from_secs(1)), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! The `XenCtl` control-plane facade.
+//!
+//! The paper's x86 island exposes a user-space "XenCtrl interface" in Dom0
+//! for tuning the credit scheduler (§2.2). [`XenCtl`] mirrors that: a
+//! narrow, audited surface over the scheduler that the coordination layer
+//! (and only it) uses to apply remote **Tune** and **Trigger** requests.
+
+use crate::{CreditScheduler, DomId, RunstateSnapshot, SchedError};
+use simcore::Nanos;
+
+/// Control-plane handle over a [`CreditScheduler`].
+///
+/// Tune requests arrive as *relative* weight deltas; `XenCtl` translates
+/// them into absolute weights, clamping to Xen's valid range, and counts
+/// every applied adjustment for overhead reporting.
+///
+/// # Example
+///
+/// ```
+/// use xsched::{CreditScheduler, SchedConfig, XenCtl};
+///
+/// let mut s = CreditScheduler::new(SchedConfig::new(2));
+/// let web = s.create_domain("web", 256, 1);
+/// let mut ctl = XenCtl::new(&mut s);
+/// ctl.adjust_weight(web, 128)?;
+/// assert_eq!(ctl.weight(web)?, 384);
+/// # Ok::<(), xsched::SchedError>(())
+/// ```
+#[derive(Debug)]
+pub struct XenCtl<'a> {
+    sched: &'a mut CreditScheduler,
+    tunes_applied: u64,
+    triggers_applied: u64,
+}
+
+impl<'a> XenCtl<'a> {
+    /// Wraps a scheduler in a control-plane handle.
+    pub fn new(sched: &'a mut CreditScheduler) -> Self {
+        XenCtl {
+            sched,
+            tunes_applied: 0,
+            triggers_applied: 0,
+        }
+    }
+
+    /// Applies a relative weight adjustment (the **Tune** mechanism),
+    /// clamping the result to `[1, 65535]`.
+    ///
+    /// # Errors
+    /// Returns [`SchedError::UnknownDomain`] if the domain does not exist.
+    pub fn adjust_weight(&mut self, dom: DomId, delta: i64) -> Result<u32, SchedError> {
+        let current = self.sched.weight(dom)? as i64;
+        let new = (current + delta).clamp(1, 65_535) as u32;
+        self.sched.set_weight(dom, new)?;
+        self.tunes_applied += 1;
+        Ok(new)
+    }
+
+    /// Sets an absolute weight.
+    ///
+    /// # Errors
+    /// Returns [`SchedError::UnknownDomain`] if the domain does not exist.
+    pub fn set_weight(&mut self, dom: DomId, weight: u32) -> Result<(), SchedError> {
+        self.sched.set_weight(dom, weight)
+    }
+
+    /// Current weight of a domain.
+    ///
+    /// # Errors
+    /// Returns [`SchedError::UnknownDomain`] if the domain does not exist.
+    pub fn weight(&self, dom: DomId) -> Result<u32, SchedError> {
+        self.sched.weight(dom)
+    }
+
+    /// Applies a **Trigger**: promote `dom` to the front of the runqueue
+    /// with preemptive (BOOST) semantics, at time `now`.
+    ///
+    /// # Errors
+    /// Returns [`SchedError::UnknownDomain`] if the domain does not exist.
+    pub fn trigger_boost(&mut self, now: Nanos, dom: DomId) -> Result<(), SchedError> {
+        self.sched.boost_front(now, dom)?;
+        self.sched.grant_credit(dom, 100)?;
+        self.triggers_applied += 1;
+        Ok(())
+    }
+
+    /// Current run-state usage snapshot.
+    pub fn usage(&mut self) -> RunstateSnapshot {
+        self.sched.usage_snapshot()
+    }
+
+    /// Number of weight adjustments applied through this handle.
+    pub fn tunes_applied(&self) -> u64 {
+        self.tunes_applied
+    }
+
+    /// Number of trigger boosts applied through this handle.
+    pub fn triggers_applied(&self) -> u64 {
+        self.triggers_applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SchedConfig;
+
+    #[test]
+    fn adjust_weight_is_relative_and_clamped() {
+        let mut s = CreditScheduler::new(SchedConfig::new(1));
+        let d = s.create_domain("d", 256, 1);
+        let mut ctl = XenCtl::new(&mut s);
+        assert_eq!(ctl.adjust_weight(d, 100).unwrap(), 356);
+        assert_eq!(ctl.adjust_weight(d, -400).unwrap(), 1);
+        assert_eq!(ctl.adjust_weight(d, 100_000).unwrap(), 65_535);
+        assert_eq!(ctl.tunes_applied(), 3);
+    }
+
+    #[test]
+    fn trigger_counts() {
+        let mut s = CreditScheduler::new(SchedConfig::new(1));
+        let d = s.create_domain("d", 256, 1);
+        let mut ctl = XenCtl::new(&mut s);
+        ctl.trigger_boost(Nanos::ZERO, d).unwrap();
+        assert_eq!(ctl.triggers_applied(), 1);
+    }
+
+    #[test]
+    fn unknown_domain_propagates() {
+        let mut s = CreditScheduler::new(SchedConfig::new(1));
+        let mut ctl = XenCtl::new(&mut s);
+        assert!(ctl.adjust_weight(DomId(9), 1).is_err());
+        assert!(ctl.trigger_boost(Nanos::ZERO, DomId(9)).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! Error type for the scheduling island.
+
+use crate::DomId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`CreditScheduler`](crate::CreditScheduler) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// The referenced domain does not exist.
+    UnknownDomain(DomId),
+    /// A domain was created with zero VCPUs.
+    NoVcpus,
+    /// A VCPU was pinned to a pCPU outside the platform.
+    BadAffinity(u32),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::UnknownDomain(d) => write!(f, "unknown domain {d}"),
+            SchedError::NoVcpus => write!(f, "domain must have at least one vcpu"),
+            SchedError::BadAffinity(p) => write!(f, "pcpu {p} does not exist"),
+        }
+    }
+}
+
+impl Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SchedError::UnknownDomain(DomId(7)).to_string(),
+            "unknown domain dom7"
+        );
+        assert!(SchedError::NoVcpus.to_string().contains("vcpu"));
+        assert!(SchedError::BadAffinity(9).to_string().contains("pcpu 9"));
+    }
+}

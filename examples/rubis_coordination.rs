@@ -1,0 +1,66 @@
+//! RUBiS request-type coordination in detail (§3.1 of the paper).
+//!
+//! Shows per-request-type results, the weight regimes the IXP's DPI
+//! classification drives, and the mis-coordination cost of per-request
+//! regime switching versus the hysteresis extension.
+//!
+//! ```sh
+//! cargo run --release --example rubis_coordination
+//! ```
+
+use archipelago::coord::PolicyKind;
+use archipelago::platform::{PlatformBuilder, RubisScenario, RunReport};
+use archipelago::simcore::Nanos;
+
+fn run(policy: PolicyKind) -> RunReport {
+    let mut sim = PlatformBuilder::new()
+        .seed(42)
+        .policy(policy)
+        .build_rubis(RubisScenario::read_write_mix(24));
+    sim.run(Nanos::from_secs(60))
+}
+
+fn main() {
+    let base = run(PolicyKind::None);
+    let coord = run(PolicyKind::RequestType);
+    let hyst = run(PolicyKind::RequestTypeHysteresis);
+
+    println!("Per-type mean / max response (ms): baseline vs per-request vs hysteresis\n");
+    println!(
+        "{:<26} {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
+        "request type", "base", "max", "coord", "max", "hyst", "max"
+    );
+    for (name, b) in base.rubis.responses.iter() {
+        let c = coord.rubis.responses.summary(name);
+        let h = hyst.rubis.responses.summary(name);
+        println!(
+            "{:<26} {:>8.0} {:>8.0} | {:>8.0} {:>8.0} | {:>8.0} {:>8.0}",
+            name,
+            b.mean(),
+            b.max(),
+            c.map(|s| s.mean()).unwrap_or(0.0),
+            c.map(|s| s.max()).unwrap_or(0.0),
+            h.map(|s| s.mean()).unwrap_or(0.0),
+            h.map(|s| s.max()).unwrap_or(0.0),
+        );
+    }
+
+    println!(
+        "\ncoordination traffic: per-request {} msgs ({} bytes), hysteresis {} msgs ({} bytes)",
+        coord.coord.messages_sent,
+        coord.coord.bytes_sent,
+        hyst.coord.messages_sent,
+        hyst.coord.bytes_sent,
+    );
+    println!(
+        "dropped packets: baseline {}, per-request {}, hysteresis {}",
+        base.net.guest_drops, coord.net.guest_drops, hyst.net.guest_drops
+    );
+    println!("\nCPU utilization (% of one pCPU):");
+    for (b, c) in base.cpu.iter().zip(coord.cpu.iter()) {
+        println!(
+            "  {:<6} baseline {:>5.1}  coordinated {:>5.1}",
+            b.name, b.percent, c.percent
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! # archipelago
+//!
+//! A full-system, deterministic reproduction of *"A Case for Coordinated
+//! Resource Management in Heterogeneous Multicore Platforms"* (Tembey,
+//! Gavrilovska, Schwan — WIOSCA/ISCA 2010) as a Rust simulation library.
+//!
+//! The paper's prototype couples an Intel IXP2850 network processor with an
+//! x86 host virtualized by Xen, and shows that *coordinating* the two
+//! islands' independent resource managers (via **Tune** and **Trigger**
+//! messages) improves end-to-end application performance. This crate is the
+//! facade over the workspace:
+//!
+//! * [`simcore`] — discrete-event kernel (time, events, RNG, statistics)
+//! * [`xsched`] — the x86 island: a faithful Xen credit-scheduler model
+//! * [`ixp`] — the IXP2850 island: microengines, memory hierarchy, pipelines
+//! * [`pcie`] — the interconnect: DMA, message rings, coordination mailbox
+//! * [`coord`] — the paper's contribution: islands, entities, Tune/Trigger,
+//!   the global controller and coordination policies
+//! * [`workloads`] — RUBiS (3-tier auction site) and MPlayer (streaming)
+//! * [`platform`] — the wired-up two-island platform simulation
+//! * [`metrics`] — reporting: response times, throughput, utilization,
+//!   platform efficiency
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use archipelago::platform::{PlatformBuilder, RubisScenario};
+//! use archipelago::coord::PolicyKind;
+//! use archipelago::simcore::Nanos;
+//!
+//! // Run 20 simulated seconds of RUBiS with coordination enabled.
+//! let mut sim = PlatformBuilder::new()
+//!     .seed(42)
+//!     .policy(PolicyKind::RequestType)
+//!     .build_rubis(RubisScenario::read_write_mix(8));
+//! let report = sim.run(Nanos::from_secs(20));
+//! assert!(report.rubis.completed > 0);
+//! ```
+
+pub use coord;
+pub use ixp;
+pub use metrics;
+pub use pcie;
+pub use platform;
+pub use simcore;
+pub use workloads;
+pub use xsched;

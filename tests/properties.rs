@@ -1,0 +1,269 @@
+//! Property-based tests over the core data structures and invariants.
+
+use archipelago::coord::{wire, CoordMsg, EntityId, IslandId, IslandKind, Registry, TokenBucket};
+use archipelago::ixp::{AppTag, Packet, ThreadPool};
+use archipelago::simcore::stats::{OnlineStats, Summary};
+use archipelago::simcore::{EventQueue, Nanos, SimRng};
+use archipelago::xsched::{Burst, CreditScheduler, SchedConfig, WakeMode};
+use proptest::prelude::*;
+
+// ----------------------------------------------------------------------
+// simcore
+// ----------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn event_queue_pops_in_time_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Nanos(t), i);
+        }
+        let mut last = None;
+        let mut popped = 0;
+        while let Some((t, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt, "time order");
+                if t == lt {
+                    prop_assert!(idx > lidx, "FIFO among ties");
+                }
+            }
+            prop_assert_eq!(Nanos(times[idx]), t, "event carries its scheduled time");
+            last = Some((t, idx));
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    #[test]
+    fn event_queue_cancellation_removes_exactly_the_cancelled(
+        times in prop::collection::vec(0u64..1_000_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let keys: Vec<_> = times.iter().map(|&t| q.schedule(Nanos(t), t)).collect();
+        let mut expected = 0;
+        for (i, k) in keys.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                prop_assert!(q.cancel(*k));
+            } else {
+                expected += 1;
+            }
+        }
+        let mut seen = 0;
+        while q.pop().is_some() {
+            seen += 1;
+        }
+        prop_assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn rng_streams_are_reproducible(seed in any::<u64>()) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn online_stats_match_naive_computation(xs in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() < 1e-5 * (1.0 + var.abs()));
+    }
+
+    #[test]
+    fn summary_min_max_bound_mean(xs in prop::collection::vec(0f64..1e6, 1..100)) {
+        let mut s = Summary::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        prop_assert!(s.min() <= s.mean() + 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+}
+
+// ----------------------------------------------------------------------
+// coord: wire codec and registry
+// ----------------------------------------------------------------------
+
+fn arb_msg() -> impl Strategy<Value = CoordMsg> {
+    let kind = prop_oneof![
+        Just(IslandKind::GeneralPurpose),
+        Just(IslandKind::NetworkProcessor),
+        Just(IslandKind::Accelerator),
+        Just(IslandKind::Storage),
+    ];
+    let target = prop_oneof![
+        Just(None),
+        (0u16..u16::MAX).prop_map(|i| Some(IslandId(i))),
+    ];
+    prop_oneof![
+        (any::<u16>(), kind).prop_map(|(i, kind)| CoordMsg::RegisterIsland {
+            island: IslandId(i),
+            kind
+        }),
+        (any::<u32>(), any::<u16>(), any::<u64>()).prop_map(|(e, i, k)| {
+            CoordMsg::RegisterEntity { entity: EntityId(e), island: IslandId(i), local_key: k }
+        }),
+        (any::<u32>(), any::<i32>(), target.clone())
+            .prop_map(|(e, d, t)| CoordMsg::Tune { entity: EntityId(e), delta: d, target: t }),
+        (any::<u32>(), target).prop_map(|(e, t)| CoordMsg::Trigger { entity: EntityId(e), target: t }),
+        any::<u32>().prop_map(|s| CoordMsg::Ack { seq: s }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn wire_codec_roundtrips(msg in arb_msg()) {
+        let mut buf = Vec::new();
+        let n = wire::encode(&msg, &mut buf);
+        prop_assert_eq!(n, buf.len());
+        prop_assert!(n <= 16, "messages stay mailbox-sized");
+        let (decoded, used) = wire::decode(&buf).unwrap();
+        prop_assert_eq!(decoded, msg);
+        prop_assert_eq!(used, n);
+    }
+
+    #[test]
+    fn wire_codec_streams_roundtrip(msgs in prop::collection::vec(arb_msg(), 1..50)) {
+        let mut buf = Vec::new();
+        for m in &msgs {
+            wire::encode(m, &mut buf);
+        }
+        let mut off = 0;
+        for m in &msgs {
+            let (d, n) = wire::decode(&buf[off..]).unwrap();
+            prop_assert_eq!(d, *m);
+            off += n;
+        }
+        prop_assert_eq!(off, buf.len());
+    }
+
+    #[test]
+    fn truncated_wire_messages_never_panic(msg in arb_msg(), cut in 0usize..16) {
+        let mut buf = Vec::new();
+        let n = wire::encode(&msg, &mut buf);
+        let cut = cut.min(n.saturating_sub(1));
+        // Decoding any strict prefix errors cleanly.
+        prop_assert!(wire::decode(&buf[..cut]).is_err() || cut == 0 && n == 0);
+    }
+
+    #[test]
+    fn registry_is_bijective(bindings in prop::collection::vec((any::<u32>(), 0u16..8, any::<u64>()), 1..100)) {
+        let mut r = Registry::new();
+        let mut accepted = Vec::new();
+        for (e, i, k) in bindings {
+            if r.bind(EntityId(e), IslandId(i), k).is_ok() {
+                accepted.push((EntityId(e), IslandId(i), k));
+            }
+        }
+        for (e, i, k) in &accepted {
+            prop_assert_eq!(r.local_key(*e, *i).unwrap(), *k);
+            prop_assert_eq!(r.entity_of(*i, *k), Some(*e));
+        }
+        prop_assert_eq!(r.len(), accepted.len());
+    }
+
+    #[test]
+    fn token_bucket_respects_long_run_rate(
+        rate in 1.0f64..1000.0,
+        burst in 1.0f64..100.0,
+        attempts in 100usize..2000,
+    ) {
+        let mut b = TokenBucket::new(rate, burst);
+        let horizon = Nanos::from_secs(10);
+        let step = Nanos(horizon.as_nanos() / attempts as u64);
+        let mut taken = 0u64;
+        let mut t = Nanos::ZERO;
+        for _ in 0..attempts {
+            if b.try_take(t) {
+                taken += 1;
+            }
+            t += step;
+        }
+        let bound = rate * 10.0 + burst + 1.0;
+        prop_assert!((taken as f64) <= bound, "{taken} > {bound}");
+    }
+}
+
+// ----------------------------------------------------------------------
+// ixp: thread pool conservation
+// ----------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn thread_pool_conserves_packets(
+        threads in 1u32..8,
+        capacity in 100u64..10_000,
+        lens in prop::collection::vec(1u32..2000, 1..200),
+    ) {
+        let mut pool = ThreadPool::new(threads, Nanos::ZERO, capacity);
+        let mut in_service = 0u64;
+        for (i, &len) in lens.iter().enumerate() {
+            let pkt = Packet::new(i as u64, 0, len, AppTag::Plain);
+            if pool.offer(pkt).is_some() {
+                in_service += 1;
+            }
+        }
+        // offered = in_service + queued + dropped
+        prop_assert_eq!(
+            lens.len() as u64,
+            in_service + pool.queue_len() as u64 + pool.dropped()
+        );
+        prop_assert!(pool.queued_bytes() <= capacity);
+        // Drain: every completion may start a queued packet.
+        let mut completed = 0u64;
+        while in_service > 0 {
+            if pool.finish_one().is_some() {
+                in_service += 1; // a queued packet started
+            }
+            in_service -= 1;
+            completed += 1;
+        }
+        prop_assert_eq!(completed, pool.served());
+        prop_assert_eq!(completed + pool.dropped(), lens.len() as u64);
+        prop_assert_eq!(pool.queue_len(), 0);
+    }
+}
+
+// ----------------------------------------------------------------------
+// xsched: weight-proportional fairness under saturation
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn credit_scheduler_is_weight_proportional(
+        wa in 64u32..1024,
+        wb in 64u32..1024,
+    ) {
+        let mut s = CreditScheduler::new(SchedConfig::new(1));
+        let a = s.create_domain("a", wa, 1);
+        let b = s.create_domain("b", wb, 1);
+        s.submit(Nanos::ZERO, a, Burst::user(Nanos::from_secs(30), 1), WakeMode::Plain).unwrap();
+        s.submit(Nanos::ZERO, b, Burst::user(Nanos::from_secs(30), 2), WakeMode::Plain).unwrap();
+        while let Some(t) = s.next_event_time() {
+            if t > Nanos::from_secs(10) {
+                break;
+            }
+            s.on_timer(t);
+        }
+        let snap = s.usage_snapshot();
+        let ua = snap.cpu_percent(a);
+        let ub = snap.cpu_percent(b);
+        let expect_a = 100.0 * wa as f64 / (wa + wb) as f64;
+        prop_assert!((ua + ub - 100.0).abs() < 3.0, "work conserving: {}", ua + ub);
+        prop_assert!(
+            (ua - expect_a).abs() < 8.0,
+            "a got {ua}% of cpu, expected ~{expect_a}% (weights {wa}:{wb})"
+        );
+    }
+}
