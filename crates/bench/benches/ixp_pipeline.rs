@@ -1,9 +1,9 @@
 //! IXP island benchmarks: packet pipeline throughput with and without
 //! deep packet inspection, and the flow-knob costs.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use ixp::{AppTag, IxpConfig, IxpIsland, Packet};
 use simcore::Nanos;
+use simtest::BenchSuite;
 use std::hint::black_box;
 
 fn drive_packets(island: &mut IxpIsland, n: u64) -> usize {
@@ -23,46 +23,39 @@ fn drive_packets(island: &mut IxpIsland, n: u64) -> usize {
     delivered
 }
 
-fn bench_rx_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ixp/rx_pipeline");
-    g.throughput(Throughput::Elements(1000));
-    g.bench_function("flow_classify_1k_pkts", |b| {
-        b.iter(|| {
-            let mut island = IxpIsland::new(IxpConfig::default());
-            island.register_flow(1);
-            black_box(drive_packets(&mut island, 1000))
-        })
-    });
-    g.bench_function("dpi_classify_1k_pkts", |b| {
-        b.iter(|| {
-            let cfg = IxpConfig { dpi: true, ..IxpConfig::default() };
-            let mut island = IxpIsland::new(cfg);
-            island.register_flow(1);
-            black_box(drive_packets(&mut island, 1000))
-        })
-    });
-    g.finish();
-}
+fn main() {
+    let mut suite = BenchSuite::new("ixp_pipeline");
 
-fn bench_flow_knobs(c: &mut Criterion) {
-    c.bench_function("ixp/set_flow_threads", |b| {
+    // Per-sample figures cover one 1k-packet block (criterion reported
+    // these with Throughput::Elements(1000)).
+    suite.bench_n("ixp/rx_pipeline/flow_classify_1k_pkts", 30, || {
         let mut island = IxpIsland::new(IxpConfig::default());
-        let flow = island.register_flow(1);
-        let mut n = 2;
-        b.iter(|| {
-            n = if n == 2 { 4 } else { 2 };
-            island.set_flow_threads(black_box(flow), n)
-        })
+        island.register_flow(1);
+        black_box(drive_packets(&mut island, 1000))
     });
-    c.bench_function("ixp/buffer_occupancy_query", |b| {
-        let mut island = IxpIsland::new(IxpConfig::default());
-        let flow = island.register_flow(1);
-        for i in 0..100 {
-            island.rx_from_wire(Nanos(i * 1000), Packet::new(i, 1, 1400, AppTag::Plain));
-        }
-        b.iter(|| black_box(island.flow_queue_bytes(flow)))
+    suite.bench_n("ixp/rx_pipeline/dpi_classify_1k_pkts", 30, || {
+        let cfg = IxpConfig { dpi: true, ..IxpConfig::default() };
+        let mut island = IxpIsland::new(cfg);
+        island.register_flow(1);
+        black_box(drive_packets(&mut island, 1000))
     });
-}
 
-criterion_group!(benches, bench_rx_pipeline, bench_flow_knobs);
-criterion_main!(benches);
+    let mut island = IxpIsland::new(IxpConfig::default());
+    let flow = island.register_flow(1);
+    let mut n = 2;
+    suite.bench("ixp/set_flow_threads", || {
+        n = if n == 2 { 4 } else { 2 };
+        island.set_flow_threads(black_box(flow), n)
+    });
+
+    let mut island = IxpIsland::new(IxpConfig::default());
+    let flow = island.register_flow(1);
+    for i in 0..100 {
+        island.rx_from_wire(Nanos(i * 1000), Packet::new(i, 1, 1400, AppTag::Plain));
+    }
+    suite.bench("ixp/buffer_occupancy_query", || {
+        black_box(island.flow_queue_bytes(flow))
+    });
+
+    suite.finish();
+}

@@ -3,99 +3,68 @@
 //! enough to standardize (§3.3).
 
 use coord::{wire, CoordMsg, EntityId, IslandId, TokenBucket};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use simcore::stats::{Histogram, OnlineStats};
 use simcore::{EventQueue, Nanos, SimRng};
+use simtest::BenchSuite;
 use std::hint::black_box;
 
-fn bench_wire_codec(c: &mut Criterion) {
+fn main() {
+    let mut suite = BenchSuite::new("micro");
+
     let msg = CoordMsg::Tune {
         entity: EntityId(3),
         delta: -128,
         target: Some(IslandId(0)),
     };
-    c.bench_function("wire/encode_tune", |b| {
-        b.iter_batched(
-            || Vec::with_capacity(16),
-            |mut buf| {
-                black_box(wire::encode(black_box(&msg), &mut buf));
-                buf
-            },
-            BatchSize::SmallInput,
-        )
+    suite.bench("wire/encode_tune", || {
+        let mut buf = Vec::with_capacity(16);
+        black_box(wire::encode(black_box(&msg), &mut buf));
+        buf
     });
     let mut buf = Vec::new();
     wire::encode(&msg, &mut buf);
-    c.bench_function("wire/decode_tune", |b| {
-        b.iter(|| wire::decode(black_box(&buf)).unwrap())
-    });
-}
+    suite.bench("wire/decode_tune", || wire::decode(black_box(&buf)).unwrap());
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue/schedule_pop_1k", |b| {
-        let mut rng = SimRng::new(7);
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.schedule(Nanos(rng.next_u64() % 1_000_000), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum += v;
-            }
-            black_box(sum)
-        })
+    let mut rng = SimRng::new(7);
+    suite.bench("event_queue/schedule_pop_1k", || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.schedule(Nanos(rng.next_u64() % 1_000_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum += v;
+        }
+        black_box(sum)
     });
-}
 
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("rng/exponential", |b| {
-        let mut rng = SimRng::new(1);
-        b.iter(|| black_box(rng.exponential(4.0)))
+    let mut rng = SimRng::new(1);
+    suite.bench("rng/exponential", || black_box(rng.exponential(4.0)));
+    let mut rng = SimRng::new(2);
+    let weights: Vec<f64> = (1..=16).map(|i| i as f64).collect();
+    suite.bench("rng/weighted_index_16", || {
+        black_box(rng.weighted_index(&weights))
     });
-    c.bench_function("rng/weighted_index_16", |b| {
-        let mut rng = SimRng::new(2);
-        let weights: Vec<f64> = (1..=16).map(|i| i as f64).collect();
-        b.iter(|| black_box(rng.weighted_index(&weights)))
-    });
-}
 
-fn bench_stats(c: &mut Criterion) {
-    c.bench_function("stats/welford_record", |b| {
-        let mut s = OnlineStats::new();
-        let mut x = 0.0;
-        b.iter(|| {
-            x += 1.0;
-            s.record(black_box(x));
-        })
+    let mut s = OnlineStats::new();
+    let mut x = 0.0;
+    suite.bench("stats/welford_record", || {
+        x += 1.0;
+        s.record(black_box(x));
     });
-    c.bench_function("stats/histogram_record", |b| {
-        let mut h = Histogram::latency_millis();
-        let mut x = 0.1;
-        b.iter(|| {
-            x = (x * 1.1) % 1e4;
-            h.record(black_box(x));
-        })
+    let mut h = Histogram::latency_millis();
+    let mut y = 0.1;
+    suite.bench("stats/histogram_record", || {
+        y = (y * 1.1) % 1e4;
+        h.record(black_box(y));
     });
-}
 
-fn bench_token_bucket(c: &mut Criterion) {
-    c.bench_function("coord/token_bucket_try_take", |b| {
-        let mut bucket = TokenBucket::new(1e6, 1e3);
-        let mut t = Nanos::ZERO;
-        b.iter(|| {
-            t += Nanos(1000);
-            black_box(bucket.try_take(t))
-        })
+    let mut bucket = TokenBucket::new(1e6, 1e3);
+    let mut t = Nanos::ZERO;
+    suite.bench("coord/token_bucket_try_take", || {
+        t += Nanos(1000);
+        black_box(bucket.try_take(t))
     });
-}
 
-criterion_group!(
-    benches,
-    bench_wire_codec,
-    bench_event_queue,
-    bench_rng,
-    bench_stats,
-    bench_token_bucket
-);
-criterion_main!(benches);
+    suite.finish();
+}

@@ -1,42 +1,33 @@
-//! One Criterion bench per paper artifact: each iteration regenerates the
+//! One benchmark per paper artifact: each sample regenerates the
 //! corresponding table or figure end-to-end (workload generation, both
 //! baseline and coordinated runs, and the statistics), so `cargo bench`
 //! doubles as a full reproduction pass.
 //!
 //! These are whole-system benches (tens to hundreds of milliseconds per
-//! iteration); the sample count is kept small.
+//! sample); the sample count is kept small.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use simtest::BenchSuite;
 use std::hint::black_box;
-use std::time::Duration;
 
-fn artifacts(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10).measurement_time(Duration::from_secs(8));
+fn main() {
+    let mut suite = BenchSuite::new("paper_artifacts");
+    let n = 10; // samples per artifact (criterion used sample_size(10))
 
-    g.bench_function("fig2_rubis_baseline_minmax", |b| b.iter(|| black_box(bench::fig2())));
-    g.bench_function("table1_avg_response", |b| b.iter(|| black_box(bench::table1())));
-    g.bench_function("fig4_minmax_coordination", |b| b.iter(|| black_box(bench::fig4())));
-    g.bench_function("table2_throughput", |b| b.iter(|| black_box(bench::table2())));
-    g.bench_function("fig5_cpu_utilization", |b| b.iter(|| black_box(bench::fig5())));
-    g.bench_function("fig6_mplayer_qos", |b| b.iter(|| black_box(bench::fig6())));
-    g.bench_function("fig7_trigger_series", |b| b.iter(|| black_box(bench::fig7())));
-    g.bench_function("table3_trigger_interference", |b| b.iter(|| black_box(bench::table3())));
-    g.finish();
+    suite.bench_n("paper/fig2_rubis_baseline_minmax", n, || black_box(bench::fig2()));
+    suite.bench_n("paper/table1_avg_response", n, || black_box(bench::table1()));
+    suite.bench_n("paper/fig4_minmax_coordination", n, || black_box(bench::fig4()));
+    suite.bench_n("paper/table2_throughput", n, || black_box(bench::table2()));
+    suite.bench_n("paper/fig5_cpu_utilization", n, || black_box(bench::fig5()));
+    suite.bench_n("paper/fig6_mplayer_qos", n, || black_box(bench::fig6()));
+    suite.bench_n("paper/fig7_trigger_series", n, || black_box(bench::fig7()));
+    suite.bench_n("paper/table3_trigger_interference", n, || black_box(bench::table3()));
 
-    let mut a = c.benchmark_group("ablations");
-    a.sample_size(10).measurement_time(Duration::from_secs(8));
-    a.bench_function("a1_channel_latency", |b| b.iter(|| black_box(bench::ablation_a1())));
-    a.bench_function("a2_hysteresis", |b| b.iter(|| black_box(bench::ablation_a2())));
-    a.bench_function("a5_trigger_rate", |b| b.iter(|| black_box(bench::ablation_a5())));
-    a.finish();
+    suite.bench_n("ablations/a1_channel_latency", n, || black_box(bench::ablation_a1()));
+    suite.bench_n("ablations/a2_hysteresis", n, || black_box(bench::ablation_a2()));
+    suite.bench_n("ablations/a5_trigger_rate", n, || black_box(bench::ablation_a5()));
 
-    let mut e = c.benchmark_group("extensions");
-    e.sample_size(10).measurement_time(Duration::from_secs(8));
-    e.bench_function("p1_power_capping", |b| b.iter(|| black_box(bench::extension_p1())));
-    e.bench_function("s1_fabric_scalability", |b| b.iter(|| black_box(bench::extension_s1())));
-    e.finish();
+    suite.bench_n("extensions/p1_power_capping", n, || black_box(bench::extension_p1()));
+    suite.bench_n("extensions/s1_fabric_scalability", n, || black_box(bench::extension_s1()));
+
+    suite.finish();
 }
-
-criterion_group!(benches, artifacts);
-criterion_main!(benches);

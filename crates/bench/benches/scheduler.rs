@@ -1,8 +1,8 @@
 //! Credit-scheduler benchmarks: simulated-second throughput and the cost
 //! of the coordination entry points (weight change, trigger boost).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use simcore::Nanos;
+use simtest::BenchSuite;
 use std::hint::black_box;
 use xsched::{Burst, CreditScheduler, SchedConfig, WakeMode};
 
@@ -17,73 +17,58 @@ fn loaded() -> CreditScheduler {
     s
 }
 
-fn bench_simulated_second(c: &mut Criterion) {
-    c.bench_function("sched/simulate_1s_saturated", |b| {
-        b.iter(|| {
-            let mut s = loaded();
-            while let Some(t) = s.next_event_time() {
-                if t > Nanos::from_secs(1) {
-                    break;
-                }
-                black_box(s.on_timer(t));
-            }
-            s
-        })
-    });
-}
+fn main() {
+    let mut suite = BenchSuite::new("scheduler");
 
-fn bench_submit_complete_cycle(c: &mut Criterion) {
-    c.bench_function("sched/submit_and_complete", |b| {
-        let mut s = CreditScheduler::new(SchedConfig::new(2));
-        let d = s.create_domain("d", 256, 1);
-        let mut now = Nanos::ZERO;
-        let mut tag = 0u64;
-        b.iter(|| {
-            tag += 1;
-            s.submit(now, d, Burst::user(Nanos::from_micros(10), tag), WakeMode::Boost)
-                .unwrap();
-            let t = s.next_event_time().expect("completion pending");
-            now = t;
-            black_box(s.on_timer(t))
-        })
-    });
-}
-
-fn bench_coordination_entry_points(c: &mut Criterion) {
-    c.bench_function("sched/set_weight", |b| {
-        let mut s = loaded();
-        let d = xsched::DomId(1);
-        let mut w = 256;
-        b.iter(|| {
-            w = if w == 256 { 512 } else { 256 };
-            s.set_weight(d, black_box(w)).unwrap()
-        })
-    });
-    c.bench_function("sched/trigger_boost_front", |b| {
-        let mut s = loaded();
-        let d = xsched::DomId(2);
-        let mut now = Nanos::ZERO;
-        b.iter(|| {
-            now += Nanos(1000);
-            black_box(s.boost_front(now, d).unwrap())
-        })
-    });
-    c.bench_function("sched/usage_snapshot", |b| {
+    // Whole-run bench: each sample simulates a full saturated second.
+    suite.bench_n("sched/simulate_1s_saturated", 20, || {
         let mut s = loaded();
         while let Some(t) = s.next_event_time() {
-            if t > Nanos::from_millis(100) {
+            if t > Nanos::from_secs(1) {
                 break;
             }
-            s.on_timer(t);
+            black_box(s.on_timer(t));
         }
-        b.iter(|| black_box(s.usage_snapshot()))
+        s
     });
-}
 
-criterion_group!(
-    benches,
-    bench_simulated_second,
-    bench_submit_complete_cycle,
-    bench_coordination_entry_points
-);
-criterion_main!(benches);
+    let mut s = CreditScheduler::new(SchedConfig::new(2));
+    let d = s.create_domain("d", 256, 1);
+    let mut now = Nanos::ZERO;
+    let mut tag = 0u64;
+    suite.bench("sched/submit_and_complete", || {
+        tag += 1;
+        s.submit(now, d, Burst::user(Nanos::from_micros(10), tag), WakeMode::Boost)
+            .unwrap();
+        let t = s.next_event_time().expect("completion pending");
+        now = t;
+        black_box(s.on_timer(t))
+    });
+
+    let mut s = loaded();
+    let d = xsched::DomId(1);
+    let mut w = 256;
+    suite.bench("sched/set_weight", || {
+        w = if w == 256 { 512 } else { 256 };
+        s.set_weight(d, black_box(w)).unwrap()
+    });
+
+    let mut s = loaded();
+    let d = xsched::DomId(2);
+    let mut now = Nanos::ZERO;
+    suite.bench("sched/trigger_boost_front", || {
+        now += Nanos(1000);
+        black_box(s.boost_front(now, d).unwrap())
+    });
+
+    let mut s = loaded();
+    while let Some(t) = s.next_event_time() {
+        if t > Nanos::from_millis(100) {
+            break;
+        }
+        s.on_timer(t);
+    }
+    suite.bench("sched/usage_snapshot", || black_box(s.usage_snapshot()));
+
+    suite.finish();
+}

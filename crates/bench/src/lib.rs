@@ -791,3 +791,70 @@ pub fn all_experiments() -> Vec<(String, Table)> {
     out.push(("overhead".into(), coordination_overhead()));
     out
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Parses a table's CSV into rows of cells, headers dropped.
+    fn csv_rows(t: &Table) -> Vec<Vec<String>> {
+        t.to_csv()
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').map(str::to_owned).collect())
+            .collect()
+    }
+
+    fn num(cell: &str) -> f64 {
+        cell.parse::<f64>()
+            .unwrap_or_else(|_| panic!("cell '{cell}' is not numeric"))
+    }
+
+    #[test]
+    fn fmt_renders_one_decimal() {
+        assert_eq!(fmt(3.14159), "3.1");
+        assert_eq!(fmt(0.0), "0.0");
+        assert_eq!(fmt(99.95), "100.0");
+    }
+
+    #[test]
+    fn yesno_renders_verdicts() {
+        assert_eq!(yesno(true), "yes");
+        assert_eq!(yesno(false), "NO");
+    }
+
+    #[test]
+    fn fig2_rows_have_ordered_summary_statistics() {
+        let t = fig2();
+        assert!(!t.is_empty(), "fig2 reports at least one request type");
+        for row in csv_rows(&t) {
+            assert_eq!(row.len(), 7, "type,min,max,mean,sd,p95,p99");
+            let (min, max, mean, sd) = (num(&row[1]), num(&row[2]), num(&row[3]), num(&row[4]));
+            let (p95, p99) = (num(&row[5]), num(&row[6]));
+            assert!(min <= mean + 0.05 && mean <= max + 0.05, "{row:?}");
+            assert!(sd >= 0.0, "{row:?}");
+            // The percentiles come from a log-bucketed histogram, so they
+            // report bucket upper edges and may exceed the exact max; only
+            // their ordering is guaranteed.
+            assert!(p95 <= p99 + 0.05 && p99 > 0.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn table3_change_column_matches_its_inputs() {
+        let t = table3();
+        let rows = csv_rows(&t);
+        assert_eq!(rows.len(), 2, "one row per guest domain");
+        for row in rows {
+            let (base, coord, pct) = (num(&row[1]), num(&row[2]), num(&row[3]));
+            assert!(base > 0.0, "baseline fps must be positive: {row:?}");
+            let expect = (coord / base - 1.0) * 100.0;
+            // Both inputs are printed at one decimal, so recomputing from
+            // the rendered cells carries rounding of its own.
+            assert!(
+                (pct - expect).abs() < 0.5,
+                "% change {pct} inconsistent with {base} -> {coord} ({expect:.2})"
+            );
+        }
+    }
+}

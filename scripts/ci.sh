@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Offline CI pass: release build, full test suite, and a bench smoke run
+# that executes every benchmark body once and verifies the JSON reports.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> bench smoke pass (SIMTEST_BENCH_MODE=smoke)"
+SIMTEST_BENCH_MODE=smoke cargo bench --offline -p bench
+
+echo "==> verifying bench reports parse"
+for suite in micro scheduler ixp_pipeline paper_artifacts; do
+    report="results/bench_${suite}.json"
+    [ -s "$report" ] || { echo "missing or empty $report" >&2; exit 1; }
+    python3 -m json.tool "$report" > /dev/null \
+        || { echo "$report is not valid JSON" >&2; exit 1; }
+    echo "    ok: $report"
+done
+
+echo "CI pass complete."

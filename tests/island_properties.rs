@@ -1,0 +1,268 @@
+//! Properties for the island-facing subsystems: PCIe host-link
+//! flow-control/ordering and power-governor cap behaviour.
+
+use archipelago::simcore::Nanos;
+use ixp::{AppTag, FlowId, Packet};
+use pcie::{HostLink, LinkConfig, NotifyMode, PcieEvent};
+use power::{DomainSample, PowerGovernor, Strategy};
+use simtest::gen::{vec_of, zip2, zip3, Gen};
+use simtest::{check, st_assert, st_assert_eq};
+
+fn pkt(id: u64, len: u32) -> Packet {
+    Packet::new(id, 0, len, AppTag::Plain)
+}
+
+/// Pump the link's internal clock forward, collecting every event.
+fn settle(link: &mut HostLink, until: Nanos) -> Vec<PcieEvent> {
+    let mut out = Vec::new();
+    while let Some(t) = link.next_event_time() {
+        if t > until {
+            break;
+        }
+        out.extend(link.on_timer(t));
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// pcie::link — flow control and ordering
+// ----------------------------------------------------------------------
+
+/// Every descriptor offered to the link is accounted for exactly once:
+/// while running, `posted >= drained + ring`; once the link settles and the
+/// host drains everything, `posted == drained` and every post attempt is
+/// either posted or a ring-full drop.
+#[test]
+fn pcie_link_conserves_descriptors() {
+    let input = zip3(
+        Gen::u32_in(1, 64),                                // ring slots
+        vec_of(domain_post(), 1, 149),                     // (gap, len) per post
+        Gen::u64_in(1, 16),                                // host_take batch size
+    );
+    check(
+        "pcie_link_conserves_descriptors",
+        &input,
+        |(slots, posts, batch)| {
+            let cfg = LinkConfig {
+                ring_slots: *slots,
+                ..LinkConfig::default()
+            };
+            let mut link = HostLink::new(cfg);
+            let mut now = Nanos::ZERO;
+            for (i, &(gap_us, len)) in posts.iter().enumerate() {
+                now += Nanos::from_micros(gap_us);
+                link.post_to_host(now, FlowId(0), pkt(i as u64, len));
+                // Interleave servicing so the ring occupancy varies: on a
+                // notification, the host drains a bounded batch.
+                for ev in link.on_timer(now) {
+                    if let PcieEvent::HostNotify { at, .. } = ev {
+                        link.host_take(at, *batch as usize);
+                    }
+                }
+                let s = link.stats();
+                st_assert!(
+                    s.posted >= s.drained + link.ring_len() as u64,
+                    "mid-run under-accounting: posted {} < drained {} + ring {}",
+                    s.posted,
+                    s.drained,
+                    link.ring_len()
+                );
+            }
+            // Let all in-flight DMAs land, then drain the residue.
+            let far = now + Nanos::from_secs(1);
+            settle(&mut link, far);
+            link.host_take(far, usize::MAX);
+            let s = link.stats();
+            st_assert_eq!(
+                s.posted + s.ring_full_drops,
+                posts.len() as u64,
+                "every attempt is posted or dropped"
+            );
+            st_assert_eq!(s.posted, s.drained, "settled link conserves descriptors");
+            st_assert_eq!(link.ring_len(), 0);
+            Ok(())
+        },
+    );
+}
+
+/// Equal-length packets posted at strictly increasing times drain from the
+/// host ring in posting (FIFO) order, even across partial drains and
+/// ring-full drops.
+#[test]
+fn pcie_link_drains_in_fifo_order() {
+    let input = zip3(
+        Gen::u32_in(1, 32),     // ring slots
+        Gen::u64_in(2, 99),     // packets posted
+        Gen::u64_in(1, 8),      // host_take batch size
+    );
+    check(
+        "pcie_link_drains_in_fifo_order",
+        &input,
+        |&(slots, count, batch)| {
+            let cfg = LinkConfig {
+                ring_slots: slots,
+                ..LinkConfig::default()
+            };
+            let mut link = HostLink::new(cfg);
+            let mut drained_ids = Vec::new();
+            let mut take = |link: &mut HostLink, at: Nanos| {
+                drained_ids.extend(
+                    link.host_take(at, batch as usize)
+                        .into_iter()
+                        .map(|(_, p)| p.id),
+                );
+            };
+            let mut now = Nanos::ZERO;
+            for id in 0..count {
+                now += Nanos::from_micros(10);
+                link.post_to_host(now, FlowId(0), pkt(id, 256));
+                for ev in link.on_timer(now) {
+                    if let PcieEvent::HostNotify { at, .. } = ev {
+                        take(&mut link, at);
+                    }
+                }
+            }
+            let far = now + Nanos::from_secs(1);
+            for ev in settle(&mut link, far) {
+                if let PcieEvent::HostNotify { at, .. } = ev {
+                    take(&mut link, at);
+                }
+            }
+            while link.ring_len() > 0 {
+                take(&mut link, far);
+            }
+            st_assert!(
+                drained_ids.windows(2).all(|w| w[0] < w[1]),
+                "ids drained out of order: {drained_ids:?}"
+            );
+            let s = link.stats();
+            st_assert_eq!(drained_ids.len() as u64, s.drained);
+            Ok(())
+        },
+    );
+}
+
+/// Interrupt moderation: consecutive host notifications are spaced at
+/// least the moderation period apart, no matter how the IXP posts.
+#[test]
+fn pcie_link_moderates_interrupt_rate() {
+    let input = zip3(
+        Gen::u64_in(10, 500),                          // moderation period, µs
+        vec_of(Gen::u64_in(0, 200), 2, 99),            // inter-post gaps, µs
+        Gen::u64_in(1, 4),                             // host_take batch size
+    );
+    check(
+        "pcie_link_moderates_interrupt_rate",
+        &input,
+        |(period_us, gaps, batch)| {
+            let period = Nanos::from_micros(*period_us);
+            let cfg = LinkConfig {
+                notify: NotifyMode::Interrupt { period },
+                ..LinkConfig::default()
+            };
+            let mut link = HostLink::new(cfg);
+            let mut notify_times = Vec::new();
+            let mut now = Nanos::ZERO;
+            for (i, &gap) in gaps.iter().enumerate() {
+                now += Nanos::from_micros(gap);
+                link.post_to_host(now, FlowId(0), pkt(i as u64, 128));
+                for ev in link.on_timer(now) {
+                    if let PcieEvent::HostNotify { at, .. } = ev {
+                        notify_times.push(at);
+                        link.host_take(at, *batch as usize);
+                    }
+                }
+            }
+            for ev in settle(&mut link, now + Nanos::from_secs(1)) {
+                if let PcieEvent::HostNotify { at, .. } = ev {
+                    notify_times.push(at);
+                    link.host_take(at, usize::MAX);
+                }
+            }
+            for w in notify_times.windows(2) {
+                st_assert!(
+                    w[1] >= w[0] + period,
+                    "notifications {:?} and {:?} closer than the {period:?} \
+                     moderation period",
+                    w[0],
+                    w[1]
+                );
+            }
+            st_assert_eq!(notify_times.len() as u64, link.stats().notifications);
+            Ok(())
+        },
+    );
+}
+
+// ----------------------------------------------------------------------
+// power::governor — cap monotonicity under sustained pressure
+// ----------------------------------------------------------------------
+
+/// Under sustained over-budget samples the governor only ever tightens:
+/// each domain's effective cap is non-increasing across rounds, never falls
+/// below the configured floor, and capped domains stay within [floor, 100).
+#[test]
+fn power_caps_monotone_under_sustained_pressure() {
+    let input = zip2(
+        zip3(
+            Gen::u32_in(5, 40),  // cap step
+            Gen::u32_in(1, 30),  // cap floor
+            Gen::bool_any(),     // strategy: biggest-consumer vs priority
+        ),
+        vec_of(
+            zip3(
+                Gen::u32_in(0, 100),
+                Gen::u32_in(0, 100),
+                Gen::u32_in(0, 100),
+            ),
+            3,
+            29,
+        ),
+    );
+    check(
+        "power_caps_monotone_under_sustained_pressure",
+        &input,
+        |((step, floor, priority), rounds)| {
+            let names = ["web", "db", "background"];
+            let strategy = if *priority {
+                Strategy::Priority(names.iter().map(|n| n.to_string()).collect())
+            } else {
+                Strategy::BiggestConsumer
+            };
+            let mut g = PowerGovernor::new(100.0, strategy).with_steps(*step, *floor);
+            // 0 means uncapped; treat it as "no limit" for monotonicity.
+            let eff = |c: u32| if c == 0 { u32::MAX } else { c };
+            for (i, &(a, b, c)) in rounds.iter().enumerate() {
+                let before: Vec<u32> = names.iter().map(|n| g.cap_of(n)).collect();
+                let samples: Vec<DomainSample> = names
+                    .iter()
+                    .zip([a, b, c])
+                    .map(|(n, cpu)| DomainSample {
+                        name: n.to_string(),
+                        cpu_percent: cpu as f64,
+                    })
+                    .collect();
+                // Always 20 W over budget; rounds are a second apart so the
+                // rate limiter never masks a decision.
+                g.sample(Nanos::from_secs(i as u64 + 1), 120.0, &samples);
+                for (name, was) in names.iter().zip(before) {
+                    let is = g.cap_of(name);
+                    st_assert!(
+                        eff(is) <= eff(was),
+                        "cap for {name} loosened under pressure: {was} -> {is}"
+                    );
+                    st_assert!(
+                        is == 0 || (is >= *floor && is < 100),
+                        "cap for {name} out of range: {is} (floor {floor})"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Generator for one host-bound post: (inter-post gap in µs, payload len).
+fn domain_post() -> Gen<(u64, u32)> {
+    zip2(Gen::u64_in(0, 99), simtest::gen::domain::packet_len())
+}
