@@ -13,21 +13,22 @@ fn main() {
     let mut suite = BenchSuite::new("paper_artifacts");
     let n = 10; // samples per artifact (criterion used sample_size(10))
 
-    suite.bench_n("paper/fig2_rubis_baseline_minmax", n, || black_box(bench::fig2()));
-    suite.bench_n("paper/table1_avg_response", n, || black_box(bench::table1()));
-    suite.bench_n("paper/fig4_minmax_coordination", n, || black_box(bench::fig4()));
-    suite.bench_n("paper/table2_throughput", n, || black_box(bench::table2()));
-    suite.bench_n("paper/fig5_cpu_utilization", n, || black_box(bench::fig5()));
-    suite.bench_n("paper/fig6_mplayer_qos", n, || black_box(bench::fig6()));
-    suite.bench_n("paper/fig7_trigger_series", n, || black_box(bench::fig7()));
-    suite.bench_n("paper/table3_trigger_interference", n, || black_box(bench::table3()));
+    let s = bench::SEED;
+    suite.bench_n("paper/fig2_rubis_baseline_minmax", n, || black_box(bench::fig2(s)));
+    suite.bench_n("paper/table1_avg_response", n, || black_box(bench::table1(s)));
+    suite.bench_n("paper/fig4_minmax_coordination", n, || black_box(bench::fig4(s)));
+    suite.bench_n("paper/table2_throughput", n, || black_box(bench::table2(s)));
+    suite.bench_n("paper/fig5_cpu_utilization", n, || black_box(bench::fig5(s)));
+    suite.bench_n("paper/fig6_mplayer_qos", n, || black_box(bench::fig6(s)));
+    suite.bench_n("paper/fig7_trigger_series", n, || black_box(bench::fig7(s)));
+    suite.bench_n("paper/table3_trigger_interference", n, || black_box(bench::table3(s)));
 
-    suite.bench_n("ablations/a1_channel_latency", n, || black_box(bench::ablation_a1()));
-    suite.bench_n("ablations/a2_hysteresis", n, || black_box(bench::ablation_a2()));
-    suite.bench_n("ablations/a5_trigger_rate", n, || black_box(bench::ablation_a5()));
+    suite.bench_n("ablations/a1_channel_latency", n, || black_box(bench::ablation_a1(s)));
+    suite.bench_n("ablations/a2_hysteresis", n, || black_box(bench::ablation_a2(s)));
+    suite.bench_n("ablations/a5_trigger_rate", n, || black_box(bench::ablation_a5(s)));
 
-    suite.bench_n("extensions/p1_power_capping", n, || black_box(bench::extension_p1()));
-    suite.bench_n("extensions/s1_fabric_scalability", n, || black_box(bench::extension_s1()));
+    suite.bench_n("extensions/p1_power_capping", n, || black_box(bench::extension_p1(s)));
+    suite.bench_n("extensions/s1_fabric_scalability", n, || black_box(bench::extension_s1(s)));
 
     suite.finish();
 }

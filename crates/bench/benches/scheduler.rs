@@ -23,11 +23,14 @@ fn main() {
     // Whole-run bench: each sample simulates a full saturated second.
     suite.bench_n("sched/simulate_1s_saturated", 20, || {
         let mut s = loaded();
+        let mut evs = Vec::new();
         while let Some(t) = s.next_event_time() {
             if t > Nanos::from_secs(1) {
                 break;
             }
-            black_box(s.on_timer(t));
+            evs.clear();
+            s.on_timer(t, &mut evs);
+            black_box(&evs);
         }
         s
     });
@@ -36,13 +39,16 @@ fn main() {
     let d = s.create_domain("d", 256, 1);
     let mut now = Nanos::ZERO;
     let mut tag = 0u64;
+    let mut evs = Vec::new();
     suite.bench("sched/submit_and_complete", || {
         tag += 1;
         s.submit(now, d, Burst::user(Nanos::from_micros(10), tag), WakeMode::Boost)
             .unwrap();
         let t = s.next_event_time().expect("completion pending");
         now = t;
-        black_box(s.on_timer(t))
+        evs.clear();
+        s.on_timer(t, &mut evs);
+        black_box(&evs);
     });
 
     let mut s = loaded();
@@ -62,11 +68,13 @@ fn main() {
     });
 
     let mut s = loaded();
+    let mut evs = Vec::new();
     while let Some(t) = s.next_event_time() {
         if t > Nanos::from_millis(100) {
             break;
         }
-        s.on_timer(t);
+        evs.clear();
+        s.on_timer(t, &mut evs);
     }
     suite.bench("sched/usage_snapshot", || black_box(s.usage_snapshot()));
 

@@ -1,9 +1,24 @@
 //! Regenerates every table and figure of the paper's evaluation plus the
 //! ablations, printing paper-style tables and writing CSVs to `results/`.
 //!
-//! Usage: `experiments [all|fig2|table1|fig4|table2|fig5|fig6|fig7|table3|ablations]`
+//! Usage: `experiments [--jobs N] [--smoke[=SECS]] [--seed S] [SELECTION]`
+//!
+//! * `SELECTION` — `all` (default), an experiment id (`experiments list`
+//!   prints them), or one of the groups `fig4`, `fig7`, `ablations`,
+//!   `extensions`.
+//! * `--jobs N` — fan independent experiments across N worker threads
+//!   (default: `ARCH_JOBS` or the machine's available parallelism).
+//!   Output is byte-identical to `--jobs 1`.
+//! * `--smoke[=SECS]` — cap every simulated run (default 5 simulated
+//!   seconds): a fast CI pass that keeps table shapes but not statistics.
+//! * `--seed S` — override the default deterministic seed.
+//!
+//! Besides the per-table CSVs this writes `results/BENCH_experiments.json`
+//! with the simulator-throughput block (events dispatched, wall µs,
+//! events/sec) for the whole pass.
 
 use metrics::Table;
+use simtest::json::Json;
 use std::fs;
 use std::time::Instant;
 
@@ -17,55 +32,120 @@ fn emit(slug: &str, table: &Table) {
     }
 }
 
+fn selection(which: &str) -> Option<Vec<&'static str>> {
+    let ids = bench::experiment_ids();
+    match which {
+        "all" => Some(ids.to_vec()),
+        "fig4" => Some(vec!["fig4", "fig4_browsing"]),
+        "ablations" => Some(
+            ids.iter()
+                .copied()
+                .filter(|id| id.starts_with("a") && id.chars().nth(1).is_some_and(|c| c.is_ascii_digit()))
+                .collect(),
+        ),
+        "extensions" => Some(vec!["p1_power_capping", "s1_fabric_scalability"]),
+        id if ids.contains(&id) => Some(vec![ids[ids.iter().position(|x| *x == id).unwrap()]]),
+        _ => None,
+    }
+}
+
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    let t0 = Instant::now();
-    let selected: Vec<(String, Table)> = match which.as_str() {
-        "all" => bench::all_experiments(),
-        "fig2" => vec![("fig2".into(), bench::fig2())],
-        "table1" => vec![("table1".into(), bench::table1())],
-        "fig4" => vec![
-            ("fig4".into(), bench::fig4()),
-            ("fig4_browsing".into(), bench::fig4_browsing()),
-        ],
-        "table2" => vec![("table2".into(), bench::table2())],
-        "fig5" => vec![("fig5".into(), bench::fig5())],
-        "fig6" => vec![("fig6".into(), bench::fig6())],
-        "fig7" => {
-            let (series, summary) = bench::fig7();
-            vec![
-                ("fig7_series".into(), series),
-                ("fig7_summary".into(), summary),
-            ]
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = bench::pool::take_jobs_flag(&mut args);
+    let mut seed = bench::SEED;
+    let mut smoke: Option<u64> = None;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--smoke" {
+            smoke = Some(5);
+        } else if let Some(v) = a.strip_prefix("--smoke=") {
+            smoke = Some(v.parse().unwrap_or(5));
+        } else if a == "--seed" {
+            seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(seed);
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            seed = v.parse().unwrap_or(seed);
+        } else {
+            rest.push(a);
         }
-        "table3" => vec![("table3".into(), bench::table3())],
-        "extensions" => vec![
-            ("p1_power_capping".into(), bench::extension_p1()),
-            ("s1_fabric_scalability".into(), bench::extension_s1()),
-        ],
-        "ablations" => vec![
-            ("a1_channel_latency".into(), bench::ablation_a1()),
-            ("a2_hysteresis".into(), bench::ablation_a2()),
-            ("a3_notification".into(), bench::ablation_a3()),
-            ("a4_ixp_threads".into(), bench::ablation_a4()),
-            ("a5_trigger_rate".into(), bench::ablation_a5()),
-            ("a6_accounting_mode".into(), bench::ablation_a6()),
-        ],
-        "list" => {
-            println!("available: all fig2 table1 fig4 table2 fig5 fig6 fig7 table3 ablations extensions");
-            return;
-        }
-        other => {
-            eprintln!("unknown experiment '{other}' (try `experiments list`)");
-            std::process::exit(2);
-        }
+    }
+    if let Some(secs) = smoke {
+        bench::set_smoke_cap_secs(secs);
+    }
+    let which = rest.first().map(String::as_str).unwrap_or("all");
+    if which == "list" {
+        println!(
+            "available: all ablations extensions {}",
+            bench::experiment_ids().join(" ")
+        );
+        return;
+    }
+    let Some(ids) = selection(which) else {
+        eprintln!("unknown experiment '{which}' (try `experiments list`)");
+        std::process::exit(2);
     };
-    for (slug, table) in &selected {
+
+    let t0 = Instant::now();
+    bench::reset_sim_rate_totals();
+    let tables = bench::run_experiments(jobs, ids.clone(), seed);
+    let wall = t0.elapsed();
+    for (slug, table) in &tables {
         emit(slug, table);
     }
+
+    let (events, run_micros) = bench::sim_rate_totals();
+    let rate = if run_micros > 0 {
+        events as f64 * 1e6 / run_micros as f64
+    } else {
+        0.0
+    };
     println!(
-        "{} experiment table(s) regenerated in {:.2?}; CSVs under results/",
-        selected.len(),
-        t0.elapsed()
+        "{} experiment table(s) regenerated in {:.2?} (jobs={jobs}); CSVs under results/",
+        tables.len(),
+        wall
     );
+    println!(
+        "sim rate: {events} events in {:.2} s of simulator time ({rate:.0} events/s)",
+        run_micros as f64 / 1e6
+    );
+
+    let report = Json::obj(vec![
+        ("schema", Json::Str("bench-experiments-v1".into())),
+        ("selection", Json::Str(which.into())),
+        ("jobs", Json::Num(jobs as f64)),
+        ("seed", Json::Num(seed as f64)),
+        (
+            "smoke_cap_secs",
+            smoke.map(|s| Json::Num(s as f64)).unwrap_or(Json::Null),
+        ),
+        (
+            "experiments",
+            Json::Arr(ids.iter().map(|id| Json::Str((*id).into())).collect()),
+        ),
+        (
+            "tables",
+            Json::Arr(
+                tables
+                    .iter()
+                    .map(|(slug, _)| Json::Str(slug.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "sim_rate",
+            Json::obj(vec![
+                ("events", Json::Num(events as f64)),
+                ("run_wall_micros", Json::Num(run_micros as f64)),
+                ("events_per_sec", Json::Num(rate)),
+            ]),
+        ),
+        ("wall_micros", Json::Num(wall.as_micros() as f64)),
+    ]);
+    if fs::create_dir_all("results").is_ok() {
+        let path = "results/BENCH_experiments.json";
+        match fs::write(path, report.to_string()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+    }
 }

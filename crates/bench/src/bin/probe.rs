@@ -8,6 +8,7 @@
 //! * `mplayer` — the three Figure 6 weight configurations
 //! * `trigger` — Figure 7 / Table 3 buffer-trigger runs
 
+use bench::summary;
 use coord::PolicyKind;
 use platform::{MplayerScenario, PlatformBuilder, RubisScenario};
 use simcore::Nanos;
@@ -26,19 +27,16 @@ fn rubis_w(policy: PolicyKind, label: &str, weights: Option<(u32, u32, u32)>) {
         sim.set_weight_by_name("app", a);
         sim.set_weight_by_name("db", d);
     }
-    let t0 = std::time::Instant::now();
     let r = sim.run(Nanos::from_secs(60));
-    println!("== RUBiS {label} (wall {:?})", t0.elapsed());
+    println!(
+        "== RUBiS {label} (sim rate {:.0} events/s)",
+        r.sim_rate.events_per_sec
+    );
     println!(
         "  throughput {:.1} req/s  sessions {}  avg-session {:.1}s  efficiency {:.1}",
         r.rubis.throughput, r.rubis.sessions, r.rubis.avg_session_secs, r.efficiency
     );
-    for c in &r.cpu {
-        println!(
-            "  {}: {:.1}% (u {:.1} / s {:.1} / steal {:.1})",
-            c.name, c.percent, c.user, c.system, c.steal
-        );
-    }
+    summary::print_cpu(&r, true);
     println!(
         "  coord: sent {} tunes {} trig {}  net: drops {} link {} deliv {}",
         r.coord.messages_sent,
@@ -49,17 +47,7 @@ fn rubis_w(policy: PolicyKind, label: &str, weights: Option<(u32, u32, u32)>) {
         r.net.delivered
     );
     println!("  guest_drops {}", r.net.guest_drops);
-    for (name, s) in r.rubis.responses.iter() {
-        println!(
-            "  {:26} n={:4} mean={:7.1} sd={:7.1} min={:6.1} max={:8.1}",
-            name,
-            s.count(),
-            s.mean(),
-            s.std_dev(),
-            s.min(),
-            s.max()
-        );
-    }
+    summary::print_responses(&r);
 }
 
 fn mplayer(w1: u32, w2: u32) {
@@ -69,15 +57,8 @@ fn mplayer(w1: u32, w2: u32) {
         .build_mplayer(MplayerScenario::figure6(w1, w2));
     let r = sim.run(Nanos::from_secs(60));
     println!("== MPlayer weights {w1}-{w2}");
-    for p in &r.players {
-        println!(
-            "  {}: target {} achieved {:.1} fps ({} frames)",
-            p.name, p.target_fps, p.achieved_fps, p.frames
-        );
-    }
-    for c in &r.cpu {
-        println!("  {}: {:.1}% steal {:.1}", c.name, c.percent, c.steal);
-    }
+    summary::print_players(&r);
+    summary::print_cpu(&r, false);
     println!("  drops {} delivered {}", r.net.ixp_drops, r.net.delivered);
 }
 
@@ -105,9 +86,7 @@ fn main() {
                 .build_mplayer(MplayerScenario::trigger_setup());
             let r = sim.run(Nanos::from_secs(180));
             println!("== trigger policy={:?}", policy);
-            for p in &r.players {
-                println!("  {}: {:.3} fps ({} frames)", p.name, p.achieved_fps, p.frames);
-            }
+            summary::print_players(&r);
             let late: Vec<f64> = r
                 .buffer_series
                 .points()

@@ -44,7 +44,7 @@ fn main() {
             next_arrival2 += Nanos::from_micros(38_100);
         }
         if t == next_event {
-            pending.extend(s.on_timer(t));
+            s.on_timer(t, &mut pending);
         }
         for ev in pending.drain(..) {
             let SchedEvent::Completed { dom, tag, .. } = ev;
@@ -53,15 +53,7 @@ fn main() {
             }
         }
     }
-    let snap = s.usage_snapshot();
-    for (d, name) in [(dom0, "dom0"), (d1, "d1"), (d2, "d2")] {
-        println!(
-            "{name}: {:.1}% steal {:.1} credit {:?}",
-            snap.cpu_percent(d),
-            snap.steal_percent(d),
-            s.credit(d)
-        );
-    }
+    bench::summary::print_sched_usage(&mut s, &[(dom0, "dom0"), (d1, "d1"), (d2, "d2")]);
 }
 
 fn pending_resubmit(s: &mut CreditScheduler, t: Nanos, dom: xsched::DomId, tag: u64) {

@@ -1,7 +1,13 @@
 //! Calibration sweep: multi-seed comparison of baseline vs coordinated
 //! RUBiS over a configuration grid. Used to choose (and to re-validate)
 //! the shipped scenario defaults; edit the `grid` to explore.
+//!
+//! Accepts `--jobs N`; the per-seed runs fan out across the job pool and
+//! the averages are merged in submission order, so the printed grid is
+//! identical at any worker count.
 
+use bench::pool;
+use bench::summary::RubisOut;
 use coord::PolicyKind;
 use platform::{PlatformBuilder, RubisScenario};
 use simcore::Nanos;
@@ -18,15 +24,7 @@ struct Cfg {
     rto_ms: u64,
 }
 
-struct Out {
-    x: f64,
-    mean: f64,
-    sd: f64,
-    max: f64,
-    drops: u64,
-}
-
-fn run(policy: PolicyKind, c: Cfg, seed: u64) -> Out {
+fn run(policy: PolicyKind, c: Cfg, seed: u64) -> RubisOut {
     let mut scen = RubisScenario::read_write_mix(c.clients);
     scen.think_mean = Nanos::from_millis(c.think_ms);
     scen.demand_scale = c.scale;
@@ -37,18 +35,12 @@ fn run(policy: PolicyKind, c: Cfg, seed: u64) -> Out {
         .queue_caps(c.rxw, c.cap)
         .rto_initial(Nanos::from_millis(c.rto_ms))
         .build_rubis(scen);
-    let r = sim.run(Nanos::from_secs(60));
-    let o = r.rubis.responses.overall().clone();
-    Out {
-        x: r.rubis.throughput,
-        mean: o.mean(),
-        sd: o.std_dev(),
-        max: o.max(),
-        drops: r.net.guest_drops,
-    }
+    RubisOut::of(&sim.run(Nanos::from_secs(60)))
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = pool::take_jobs_flag(&mut args);
     println!(
         "{:>4} {:>4} {:>3} {:>3} {:>3} {:>4} {:>4} | {:>5} {:>6} {:>6} {:>7} {:>5} | {:>5} {:>6} {:>6} {:>7} {:>5} | ratio",
         "hi", "lo", "rxw", "cap", "N", "thnk", "scl", "Xb", "meanB", "sdB", "maxB", "dropB",
@@ -57,30 +49,24 @@ fn main() {
     let grid = [
         Cfg { hi: 512, lo: 256, rxw: 8, cap: 10, clients: 24, think_ms: 250, scale: 2.5, rto_ms: 500 },
     ];
-    // Average over seeds to beat run-to-run noise.
+    // Average over seeds to beat run-to-run noise; the (policy, seed)
+    // pairs are independent simulations, so they all run concurrently.
     let seeds = [42u64, 7, 99, 1234, 5, 6, 777, 2020];
     for c in grid {
-        let avg = |policy: PolicyKind| {
-            let mut acc = Out { x: 0.0, mean: 0.0, sd: 0.0, max: 0.0, drops: 0 };
-            for &s in &seeds {
-                let o = run(policy, c, s);
-                acc.x += o.x;
-                acc.mean += o.mean;
-                acc.sd += o.sd;
-                acc.max += o.max;
-                acc.drops += o.drops;
-            }
-            let n = seeds.len() as f64;
-            Out { x: acc.x / n, mean: acc.mean / n, sd: acc.sd / n, max: acc.max / n, drops: acc.drops / seeds.len() as u64 }
-        };
-        let b = avg(PolicyKind::None);
-        let co = avg(PolicyKind::RequestType);
+        let runs: Vec<(PolicyKind, u64)> = [PolicyKind::None, PolicyKind::RequestType]
+            .into_iter()
+            .flat_map(|p| seeds.iter().map(move |&s| (p, s)))
+            .collect();
+        let outs = pool::parallel_map(jobs, runs, |(p, s)| run(p, c, s));
+        let (base_outs, coord_outs) = outs.split_at(seeds.len());
+        let b = RubisOut::average(base_outs);
+        let co = RubisOut::average(coord_outs);
         println!(
             "{:>4} {:>4} {:>3} {:>3} {:>3} {:>4} {:>4.1} | {:>5.1} {:>6.0} {:>6.0} {:>7.0} {:>5} | {:>5.1} {:>6.0} {:>6.0} {:>7.0} {:>5} | X{:+.0}% m{:+.0}% sd{:+.0}%",
             c.hi, c.lo, c.rxw, c.cap, c.clients, c.think_ms, c.scale,
-            b.x, b.mean, b.sd, b.max, b.drops,
-            co.x, co.mean, co.sd, co.max, co.drops,
-            (co.x / b.x - 1.0) * 100.0,
+            b.throughput, b.mean, b.sd, b.max, b.drops,
+            co.throughput, co.mean, co.sd, co.max, co.drops,
+            (co.throughput / b.throughput - 1.0) * 100.0,
             (co.mean / b.mean - 1.0) * 100.0,
             (co.sd / b.sd - 1.0) * 100.0,
         );

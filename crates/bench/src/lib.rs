@@ -13,11 +13,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod pool;
+pub mod summary;
+
 use coord::PolicyKind;
 use metrics::Table;
 use pcie::NotifyMode;
-use platform::{MplayerScenario, PlatformBuilder, RubisScenario, RunReport};
+use platform::{MplayerScenario, Platform, PlatformBuilder, RubisScenario, RunReport};
 use simcore::Nanos;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default deterministic seed for headline runs.
 pub const SEED: u64 = 42;
@@ -28,12 +32,55 @@ pub const RUBIS_SECS: u64 = 300;
 /// Simulated duration of the Figure 7 trigger run.
 pub const TRIGGER_SECS: u64 = 180;
 
+// ----------------------------------------------------------------------
+// Run plumbing: smoke cap and simulator-rate accounting
+// ----------------------------------------------------------------------
+
+static SMOKE_CAP_SECS: AtomicU64 = AtomicU64::new(u64::MAX);
+static TOTAL_EVENTS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_WALL_MICROS: AtomicU64 = AtomicU64::new(0);
+
+/// Caps every simulated run at `secs` simulated seconds. Smoke mode for
+/// CI and the determinism tests: the tables lose statistical meaning but
+/// keep their exact shape and determinism. `u64::MAX` restores full runs.
+pub fn set_smoke_cap_secs(secs: u64) {
+    SMOKE_CAP_SECS.store(secs.max(1), Ordering::Relaxed);
+}
+
+fn sim_secs(n: u64) -> Nanos {
+    Nanos::from_secs(n.min(SMOKE_CAP_SECS.load(Ordering::Relaxed)))
+}
+
+/// Totals accumulated across every [`Platform`] run the experiments have
+/// executed in this process: `(events dispatched, wall microseconds)`.
+pub fn sim_rate_totals() -> (u64, u64) {
+    (
+        TOTAL_EVENTS.load(Ordering::Relaxed),
+        TOTAL_WALL_MICROS.load(Ordering::Relaxed),
+    )
+}
+
+/// Resets the [`sim_rate_totals`] counters.
+pub fn reset_sim_rate_totals() {
+    TOTAL_EVENTS.store(0, Ordering::Relaxed);
+    TOTAL_WALL_MICROS.store(0, Ordering::Relaxed);
+}
+
+/// Every experiment run goes through here so the aggregate simulator
+/// throughput can be reported by the `experiments` binary.
+fn timed_run(sim: &mut Platform, duration: Nanos) -> RunReport {
+    let r = sim.run(duration);
+    TOTAL_EVENTS.fetch_add(r.sim_rate.events, Ordering::Relaxed);
+    TOTAL_WALL_MICROS.fetch_add(r.sim_rate.wall_micros, Ordering::Relaxed);
+    r
+}
+
 fn run_rubis(policy: PolicyKind, scenario: RubisScenario, seed: u64) -> RunReport {
     let mut sim = PlatformBuilder::new()
         .seed(seed)
         .policy(policy)
         .build_rubis(scenario);
-    sim.run(Nanos::from_secs(RUBIS_SECS))
+    timed_run(&mut sim, sim_secs(RUBIS_SECS))
 }
 
 fn fmt(v: f64) -> String {
@@ -54,8 +101,8 @@ fn yesno(b: bool) -> String {
 
 /// Figure 2: variation in minimum–maximum response latencies under the
 /// bid/browse/sell mix with no coordination.
-pub fn fig2() -> Table {
-    let r = run_rubis(PolicyKind::None, RubisScenario::read_write_mix(24), SEED);
+pub fn fig2(seed: u64) -> Table {
+    let r = run_rubis(PolicyKind::None, RubisScenario::read_write_mix(24), seed);
     let mut t = Table::new(
         "Figure 2 — RUBiS min-max response latencies, no coordination (ms)",
         &["Request Type", "min", "max", "mean", "sd", "p95", "p99"],
@@ -81,12 +128,12 @@ pub fn fig2() -> Table {
 // ----------------------------------------------------------------------
 
 /// Table 1: per-type average response times, baseline vs coordinated.
-pub fn table1() -> Table {
-    let base = run_rubis(PolicyKind::None, RubisScenario::read_write_mix(24), SEED);
+pub fn table1(seed: u64) -> Table {
+    let base = run_rubis(PolicyKind::None, RubisScenario::read_write_mix(24), seed);
     let coord = run_rubis(
         PolicyKind::RequestType,
         RubisScenario::read_write_mix(24),
-        SEED,
+        seed,
     );
     let mut t = Table::new(
         "Table 1 — RUBiS average request response times (ms)",
@@ -121,12 +168,12 @@ pub fn table1() -> Table {
 /// Figure 4: min–max response times with and without coordination
 /// (read-write mix). The paper's headline: coordination alleviates peak
 /// latencies and reduces per-type standard deviation.
-pub fn fig4() -> Table {
-    let base = run_rubis(PolicyKind::None, RubisScenario::read_write_mix(24), SEED);
+pub fn fig4(seed: u64) -> Table {
+    let base = run_rubis(PolicyKind::None, RubisScenario::read_write_mix(24), seed);
     let coord = run_rubis(
         PolicyKind::RequestType,
         RubisScenario::read_write_mix(24),
-        SEED,
+        seed,
     );
     let mut t = Table::new(
         "Figure 4 — RUBiS min-max response times, base vs coordinated (ms)",
@@ -160,16 +207,16 @@ pub fn fig4() -> Table {
 
 /// Figure 4's footnote experiment: under the pure browsing mix (no
 /// read-write transitions) coordination should win for every type.
-pub fn fig4_browsing() -> Table {
+pub fn fig4_browsing(seed: u64) -> Table {
     // Moderate load: the browsing mix is web-heavy, and the paper's point
     // is that without read/write transitions the coordination regime is
     // always right — best visible when the web tier is not pinned at
     // saturation.
-    let base = run_rubis(PolicyKind::None, RubisScenario::browsing_mix(12), SEED);
+    let base = run_rubis(PolicyKind::None, RubisScenario::browsing_mix(12), seed);
     let coord = run_rubis(
         PolicyKind::RequestType,
         RubisScenario::browsing_mix(12),
-        SEED,
+        seed,
     );
     let mut t = Table::new(
         "Figure 4 (browsing-only mix) — mean/max response times (ms)",
@@ -194,12 +241,12 @@ pub fn fig4_browsing() -> Table {
 // ----------------------------------------------------------------------
 
 /// Table 2: RUBiS throughput results.
-pub fn table2() -> Table {
-    let base = run_rubis(PolicyKind::None, RubisScenario::read_write_mix(24), SEED);
+pub fn table2(seed: u64) -> Table {
+    let base = run_rubis(PolicyKind::None, RubisScenario::read_write_mix(24), seed);
     let coord = run_rubis(
         PolicyKind::RequestType,
         RubisScenario::read_write_mix(24),
-        SEED,
+        seed,
     );
     let mut t = Table::new(
         "Table 2 — RUBiS throughput results",
@@ -244,12 +291,12 @@ pub fn table2() -> Table {
 
 /// Figure 5: RUBiS CPU utilization per component (percent of one pCPU),
 /// baseline vs coordinated, with the user/system split of §3.1.
-pub fn fig5() -> Table {
-    let base = run_rubis(PolicyKind::None, RubisScenario::read_write_mix(24), SEED);
+pub fn fig5(seed: u64) -> Table {
+    let base = run_rubis(PolicyKind::None, RubisScenario::read_write_mix(24), seed);
     let coord = run_rubis(
         PolicyKind::RequestType,
         RubisScenario::read_write_mix(24),
-        SEED,
+        seed,
     );
     let mut t = Table::new(
         "Figure 5 — RUBiS CPU utilization (% of one pCPU)",
@@ -294,7 +341,7 @@ pub fn fig5() -> Table {
 
 /// Figure 6: achieved frame rates under the paper's three weight
 /// configurations (256-256, 384-512, 384-640 with tandem IXP threads).
-pub fn fig6() -> Table {
+pub fn fig6(seed: u64) -> Table {
     let mut t = Table::new(
         "Figure 6 — MPlayer video-stream QoS (frames/s; targets: dom1=20, dom2=25)",
         &["Weights", "Dom1 fps", "meets", "Dom2 fps", "meets"],
@@ -305,13 +352,13 @@ pub fn fig6() -> Table {
         ("384-640", 384, 640, true),
     ] {
         let scen = MplayerScenario::figure6(w1, w2);
-        let mut sim = PlatformBuilder::new().seed(SEED).build_mplayer(scen);
+        let mut sim = PlatformBuilder::new().seed(seed).build_mplayer(scen);
         if tandem {
             // The paper's third configuration also raises the IXP threads
             // servicing Domain-2's receive queue in tandem.
             sim.set_flow_threads_by_vm(2, 4);
         }
-        let r = sim.run(Nanos::from_secs(RUBIS_SECS));
+        let r = timed_run(&mut sim, sim_secs(RUBIS_SECS));
         let d1 = r.player("dom1").expect("dom1 report");
         let d2 = r.player("dom2").expect("dom2 report");
         t.row_owned(vec![
@@ -332,14 +379,14 @@ pub fn fig6() -> Table {
 /// Figure 7: the trigger run's time series — boosted domain CPU
 /// utilization and IXP buffer occupancy, sampled once per second.
 /// Returns (series table, summary table).
-pub fn fig7() -> (Table, Table) {
+pub fn fig7(seed: u64) -> (Table, Table) {
     let mut runs = Vec::new();
     for policy in [PolicyKind::None, PolicyKind::BufferTrigger] {
         let mut sim = PlatformBuilder::new()
-            .seed(SEED)
+            .seed(seed)
             .policy(policy)
             .build_mplayer(MplayerScenario::trigger_setup());
-        runs.push(sim.run(Nanos::from_secs(TRIGGER_SECS)));
+        runs.push(timed_run(&mut sim, sim_secs(TRIGGER_SECS)));
     }
     let (base, coord) = (&runs[0], &runs[1]);
     let mut series = Table::new(
@@ -403,14 +450,14 @@ pub fn fig7() -> (Table, Table) {
 
 /// Table 3: trigger interference — the boosted network player gains,
 /// the colocated local-disk player pays.
-pub fn table3() -> Table {
+pub fn table3(seed: u64) -> Table {
     let mut results = Vec::new();
     for policy in [PolicyKind::None, PolicyKind::BufferTrigger] {
         let mut sim = PlatformBuilder::new()
-            .seed(SEED)
+            .seed(seed)
             .policy(policy)
             .build_mplayer(MplayerScenario::trigger_setup());
-        results.push(sim.run(Nanos::from_secs(TRIGGER_SECS)));
+        results.push(timed_run(&mut sim, sim_secs(TRIGGER_SECS)));
     }
     let (base, coord) = (&results[0], &results[1]);
     let mut t = Table::new(
@@ -437,18 +484,18 @@ pub fn table3() -> Table {
 
 /// A1: coordination-channel latency sweep (PCIe mailbox vs QPI/HTX-class
 /// integration, §3.3 "Hardware considerations").
-pub fn ablation_a1() -> Table {
+pub fn ablation_a1(seed: u64) -> Table {
     let mut t = Table::new(
         "A1 — coordination channel latency vs response-time damage",
         &["one-way latency", "mean (ms)", "sd (ms)", "max (ms)", "drops"],
     );
     for us in [1u64, 30, 300, 3_000, 30_000] {
         let mut sim = PlatformBuilder::new()
-            .seed(SEED)
+            .seed(seed)
             .policy(PolicyKind::RequestType)
             .coord_latency(Nanos::from_micros(us))
             .build_rubis(RubisScenario::read_write_mix(24));
-        let r = sim.run(Nanos::from_secs(RUBIS_SECS));
+        let r = timed_run(&mut sim, sim_secs(RUBIS_SECS));
         let o = r.rubis.responses.overall().clone();
         t.row_owned(vec![
             format!("{us} us"),
@@ -463,7 +510,7 @@ pub fn ablation_a1() -> Table {
 
 /// A2: per-request regime switching vs the hysteresis extension the paper
 /// defers to future work.
-pub fn ablation_a2() -> Table {
+pub fn ablation_a2(seed: u64) -> Table {
     let mut t = Table::new(
         "A2 — per-request coordination vs hysteresis damping",
         &["Policy", "X (req/s)", "mean", "sd", "max", "msgs", "drops"],
@@ -473,7 +520,7 @@ pub fn ablation_a2() -> Table {
         ("per-request", PolicyKind::RequestType),
         ("hysteresis", PolicyKind::RequestTypeHysteresis),
     ] {
-        let r = run_rubis(policy, RubisScenario::read_write_mix(24), SEED);
+        let r = run_rubis(policy, RubisScenario::read_write_mix(24), seed);
         let o = r.rubis.responses.overall().clone();
         t.row_owned(vec![
             label.into(),
@@ -490,7 +537,7 @@ pub fn ablation_a2() -> Table {
 
 /// A3: messaging-driver notification policy — interrupt moderation period
 /// sweep vs Dom0 polling.
-pub fn ablation_a3() -> Table {
+pub fn ablation_a3(seed: u64) -> Table {
     let mut t = Table::new(
         "A3 — host notification policy vs response times",
         &["Notify mode", "mean (ms)", "sd (ms)", "max (ms)"],
@@ -514,11 +561,11 @@ pub fn ablation_a3() -> Table {
     }
     for (label, mode) in modes {
         let mut sim = PlatformBuilder::new()
-            .seed(SEED)
+            .seed(seed)
             .policy(PolicyKind::RequestType)
             .notify_mode(mode)
             .build_rubis(RubisScenario::read_write_mix(24));
-        let r = sim.run(Nanos::from_secs(RUBIS_SECS));
+        let r = timed_run(&mut sim, sim_secs(RUBIS_SECS));
         let o = r.rubis.responses.overall().clone();
         t.row_owned(vec![label, fmt(o.mean()), fmt(o.std_dev()), fmt(o.max())]);
     }
@@ -527,7 +574,7 @@ pub fn ablation_a3() -> Table {
 
 /// A4: IXP per-flow dequeue-thread assignment vs delivered throughput
 /// (the §2.1 claim that thread tuning controls per-VM ingress bandwidth).
-pub fn ablation_a4() -> Table {
+pub fn ablation_a4(seed: u64) -> Table {
     let mut t = Table::new(
         "A4 — IXP flow threads vs delivered ingress bandwidth",
         &["threads", "delivered pkts", "fps dom1", "IXP buffer mean (bytes)"],
@@ -542,10 +589,10 @@ pub fn ablation_a4() -> Table {
             ..ixp::IxpConfig::default()
         };
         let mut sim = PlatformBuilder::new()
-            .seed(SEED)
+            .seed(seed)
             .ixp_config(ixp_cfg)
             .build_mplayer(MplayerScenario::trigger_setup());
-        let r = sim.run(Nanos::from_secs(60));
+        let r = timed_run(&mut sim, sim_secs(60));
         t.row_owned(vec![
             threads.to_string(),
             r.net.delivered.to_string(),
@@ -559,18 +606,18 @@ pub fn ablation_a4() -> Table {
 }
 
 /// A5: trigger rate limiting — the interference/gain trade-off of Table 3.
-pub fn ablation_a5() -> Table {
+pub fn ablation_a5(seed: u64) -> Table {
     let mut t = Table::new(
         "A5 — trigger rate limit vs gain and interference",
         &["max triggers/s", "triggers", "dom1 fps", "dom2 fps"],
     );
     for rate in [0.5f64, 2.0, 10.0, 1e9] {
         let mut sim = PlatformBuilder::new()
-            .seed(SEED)
+            .seed(seed)
             .policy(PolicyKind::BufferTrigger)
             .trigger_rate_limit(rate)
             .build_mplayer(MplayerScenario::trigger_setup());
-        let r = sim.run(Nanos::from_secs(TRIGGER_SECS));
+        let r = timed_run(&mut sim, sim_secs(TRIGGER_SECS));
         let label = if rate > 1e6 {
             "unlimited".into()
         } else {
@@ -594,7 +641,7 @@ pub fn ablation_a5() -> Table {
 /// Xen 3.x's tick-sampled debits (which deterministic sub-tick workloads
 /// dodge). Shows how much of the coordination story depends on the
 /// accounting substrate.
-pub fn ablation_a6() -> Table {
+pub fn ablation_a6(seed: u64) -> Table {
     let mut t = Table::new(
         "A6 — credit accounting mode vs RUBiS outcomes",
         &["Accounting", "Policy", "X (req/s)", "mean (ms)", "sd (ms)", "drops"],
@@ -603,11 +650,11 @@ pub fn ablation_a6() -> Table {
         for (pol_label, policy) in [("none", PolicyKind::None), ("coord", PolicyKind::RequestType)]
         {
             let mut sim = PlatformBuilder::new()
-                .seed(SEED)
+                .seed(seed)
                 .policy(policy)
                 .precise_accounting(precise)
                 .build_rubis(RubisScenario::read_write_mix(24));
-            let r = sim.run(Nanos::from_secs(RUBIS_SECS));
+            let r = timed_run(&mut sim, sim_secs(RUBIS_SECS));
             let o = r.rubis.responses.overall().clone();
             t.row_owned(vec![
                 acct_label.into(),
@@ -628,19 +675,19 @@ pub fn ablation_a6() -> Table {
 /// first) preserves stream QoS, while per-tile biggest-consumer capping
 /// destroys the high-rate stream's frame rate — and, because the elastic
 /// background absorbs the freed cycles, saves almost no power.
-pub fn extension_p1() -> Table {
+pub fn extension_p1(seed: u64) -> Table {
     use platform::PowerStrategy;
     let mut t = Table::new(
         "P1 — platform power capping: coordinated vs per-tile victim choice",
         &["Config", "mean W", "max W", "dom1 fps", "dom2 fps", "cap actions"],
     );
     let mut run = |label: &str, cap: Option<(f64, PowerStrategy)>| {
-        let mut b = PlatformBuilder::new().seed(SEED);
+        let mut b = PlatformBuilder::new().seed(seed);
         if let Some((w, s)) = cap {
             b = b.power_cap(w, s);
         }
         let mut sim = b.build_mplayer(MplayerScenario::figure6(384, 512));
-        let r = sim.run(Nanos::from_secs(120));
+        let r = timed_run(&mut sim, sim_secs(120));
         t.row_owned(vec![
             label.into(),
             format!("{:.1}", r.power.mean_watts),
@@ -673,7 +720,7 @@ pub fn extension_p1() -> Table {
 /// S1 (extension, paper §5): coordination-fabric scalability — a single
 /// global controller vs the two-level zone fabric, at increasing island
 /// counts and 90%-local traffic.
-pub fn extension_s1() -> Table {
+pub fn extension_s1(seed: u64) -> Table {
     use coord::hierarchy::{HierarchicalController, ZoneId};
     use coord::{CoordMsg, EntityId, IslandId, IslandKind};
     let mut t = Table::new(
@@ -697,7 +744,7 @@ pub fn extension_s1() -> Table {
                 }
             }
         }
-        let mut rng = simcore::SimRng::new(SEED);
+        let mut rng = simcore::SimRng::new(seed);
         let n_msgs = 100_000u32;
         for i in 0..n_msgs {
             let origin = ZoneId((i % zones as u32) as u16);
@@ -735,11 +782,11 @@ pub fn extension_s1() -> Table {
 }
 
 /// Coordination overhead counters from a coordinated RUBiS run.
-pub fn coordination_overhead() -> Table {
+pub fn coordination_overhead(seed: u64) -> Table {
     let r = run_rubis(
         PolicyKind::RequestType,
         RubisScenario::read_write_mix(24),
-        SEED,
+        seed,
     );
     let mut t = Table::new(
         "Coordination overhead (60 s coordinated RUBiS run)",
@@ -764,32 +811,87 @@ pub fn coordination_overhead() -> Table {
     t
 }
 
-/// Everything, in paper order. Returns `(slug, table)` pairs; slugs name
-/// the CSV files.
+// ----------------------------------------------------------------------
+// Experiment registry
+// ----------------------------------------------------------------------
+
+/// Independently runnable experiment units, in paper order. Each id maps
+/// to one [`run_experiment`] call; `fig7` renders two tables from its one
+/// pair of runs.
+pub fn experiment_ids() -> &'static [&'static str] {
+    &[
+        "fig2",
+        "table1",
+        "fig4",
+        "fig4_browsing",
+        "table2",
+        "fig5",
+        "fig6",
+        "fig7",
+        "table3",
+        "a1_channel_latency",
+        "a2_hysteresis",
+        "a3_notification",
+        "a4_ixp_threads",
+        "a5_trigger_rate",
+        "a6_accounting_mode",
+        "p1_power_capping",
+        "s1_fabric_scalability",
+        "overhead",
+    ]
+}
+
+/// Runs one experiment unit with the given seed, returning its `(slug,
+/// table)` pairs (slugs name the CSV files). `None` for an unknown id.
+pub fn run_experiment(id: &str, seed: u64) -> Option<Vec<(String, Table)>> {
+    fn one(slug: &str, t: Table) -> Option<Vec<(String, Table)>> {
+        Some(vec![(slug.to_owned(), t)])
+    }
+    match id {
+        "fig2" => one("fig2", fig2(seed)),
+        "table1" => one("table1", table1(seed)),
+        "fig4" => one("fig4", fig4(seed)),
+        "fig4_browsing" => one("fig4_browsing", fig4_browsing(seed)),
+        "table2" => one("table2", table2(seed)),
+        "fig5" => one("fig5", fig5(seed)),
+        "fig6" => one("fig6", fig6(seed)),
+        "fig7" => {
+            let (series, summary) = fig7(seed);
+            Some(vec![
+                ("fig7_series".to_owned(), series),
+                ("fig7_summary".to_owned(), summary),
+            ])
+        }
+        "table3" => one("table3", table3(seed)),
+        "a1_channel_latency" => one("a1_channel_latency", ablation_a1(seed)),
+        "a2_hysteresis" => one("a2_hysteresis", ablation_a2(seed)),
+        "a3_notification" => one("a3_notification", ablation_a3(seed)),
+        "a4_ixp_threads" => one("a4_ixp_threads", ablation_a4(seed)),
+        "a5_trigger_rate" => one("a5_trigger_rate", ablation_a5(seed)),
+        "a6_accounting_mode" => one("a6_accounting_mode", ablation_a6(seed)),
+        "p1_power_capping" => one("p1_power_capping", extension_p1(seed)),
+        "s1_fabric_scalability" => one("s1_fabric_scalability", extension_s1(seed)),
+        "overhead" => one("overhead", coordination_overhead(seed)),
+        _ => None,
+    }
+}
+
+/// Runs the given experiment units on up to `jobs` workers and returns
+/// their tables merged in submission order — byte-identical to a serial
+/// run with the same seed.
+pub fn run_experiments(jobs: usize, ids: Vec<&str>, seed: u64) -> Vec<(String, Table)> {
+    pool::parallel_map(jobs, ids, |id| {
+        run_experiment(id, seed).unwrap_or_else(|| panic!("unknown experiment id '{id}'"))
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Everything, in paper order, on one worker with the default seed.
+/// Returns `(slug, table)` pairs; slugs name the CSV files.
 pub fn all_experiments() -> Vec<(String, Table)> {
-    let mut out: Vec<(String, Table)> = vec![
-        ("fig2".into(), fig2()),
-        ("table1".into(), table1()),
-        ("fig4".into(), fig4()),
-        ("fig4_browsing".into(), fig4_browsing()),
-        ("table2".into(), table2()),
-        ("fig5".into(), fig5()),
-        ("fig6".into(), fig6()),
-    ];
-    let (series, summary) = fig7();
-    out.push(("fig7_series".into(), series));
-    out.push(("fig7_summary".into(), summary));
-    out.push(("table3".into(), table3()));
-    out.push(("a1_channel_latency".into(), ablation_a1()));
-    out.push(("a2_hysteresis".into(), ablation_a2()));
-    out.push(("a3_notification".into(), ablation_a3()));
-    out.push(("a4_ixp_threads".into(), ablation_a4()));
-    out.push(("a5_trigger_rate".into(), ablation_a5()));
-    out.push(("a6_accounting_mode".into(), ablation_a6()));
-    out.push(("p1_power_capping".into(), extension_p1()));
-    out.push(("s1_fabric_scalability".into(), extension_s1()));
-    out.push(("overhead".into(), coordination_overhead()));
-    out
+    run_experiments(1, experiment_ids().to_vec(), SEED)
 }
 
 #[cfg(test)]
@@ -825,7 +927,7 @@ mod tests {
 
     #[test]
     fn fig2_rows_have_ordered_summary_statistics() {
-        let t = fig2();
+        let t = fig2(SEED);
         assert!(!t.is_empty(), "fig2 reports at least one request type");
         for row in csv_rows(&t) {
             assert_eq!(row.len(), 7, "type,min,max,mean,sd,p95,p99");
@@ -842,7 +944,7 @@ mod tests {
 
     #[test]
     fn table3_change_column_matches_its_inputs() {
-        let t = table3();
+        let t = table3(SEED);
         let rows = csv_rows(&t);
         assert_eq!(rows.len(), 2, "one row per guest domain");
         for row in rows {

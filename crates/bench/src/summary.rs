@@ -1,0 +1,122 @@
+//! Shared run-loop and reporting scaffolding for the probe binaries
+//! (`probe`, `sweep`, `schedprobe`) — each used to carry its own copy.
+
+use platform::RunReport;
+use simcore::Nanos;
+use xsched::{CreditScheduler, DomId};
+
+/// The overall RUBiS response summary the calibration tools compare:
+/// throughput, response moments, and guest-side drops.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RubisOut {
+    /// Requests per second.
+    pub throughput: f64,
+    /// Mean response time (ms).
+    pub mean: f64,
+    /// Response-time standard deviation (ms).
+    pub sd: f64,
+    /// Maximum response time (ms).
+    pub max: f64,
+    /// Packets dropped at the guest receive queues.
+    pub drops: u64,
+}
+
+impl RubisOut {
+    /// Extracts the summary from a run report.
+    pub fn of(r: &RunReport) -> RubisOut {
+        let o = r.rubis.responses.overall();
+        RubisOut {
+            throughput: r.rubis.throughput,
+            mean: o.mean(),
+            sd: o.std_dev(),
+            max: o.max(),
+            drops: r.net.guest_drops,
+        }
+    }
+
+    /// Element-wise mean of several summaries (seed averaging).
+    pub fn average(outs: &[RubisOut]) -> RubisOut {
+        let n = outs.len().max(1) as f64;
+        let mut acc = RubisOut::default();
+        for o in outs {
+            acc.throughput += o.throughput;
+            acc.mean += o.mean;
+            acc.sd += o.sd;
+            acc.max += o.max;
+            acc.drops += o.drops;
+        }
+        RubisOut {
+            throughput: acc.throughput / n,
+            mean: acc.mean / n,
+            sd: acc.sd / n,
+            max: acc.max / n,
+            drops: acc.drops / outs.len().max(1) as u64,
+        }
+    }
+}
+
+/// Prints the per-domain CPU table: full user/system/steal split when
+/// `detail` is set, the compact percent+steal form otherwise.
+pub fn print_cpu(r: &RunReport, detail: bool) {
+    for c in &r.cpu {
+        if detail {
+            println!(
+                "  {}: {:.1}% (u {:.1} / s {:.1} / steal {:.1})",
+                c.name, c.percent, c.user, c.system, c.steal
+            );
+        } else {
+            println!("  {}: {:.1}% steal {:.1}", c.name, c.percent, c.steal);
+        }
+    }
+}
+
+/// Prints the per-player frame-rate lines.
+pub fn print_players(r: &RunReport) {
+    for p in &r.players {
+        println!(
+            "  {}: target {} achieved {:.1} fps ({} frames)",
+            p.name, p.target_fps, p.achieved_fps, p.frames
+        );
+    }
+}
+
+/// Prints per-request-type response statistics.
+pub fn print_responses(r: &RunReport) {
+    for (name, s) in r.rubis.responses.iter() {
+        println!(
+            "  {:26} n={:4} mean={:7.1} sd={:7.1} min={:6.1} max={:8.1}",
+            name,
+            s.count(),
+            s.mean(),
+            s.std_dev(),
+            s.min(),
+            s.max()
+        );
+    }
+}
+
+/// Prints the usage snapshot lines for a raw scheduler probe.
+pub fn print_sched_usage(s: &mut CreditScheduler, doms: &[(DomId, &str)]) {
+    let snap = s.usage_snapshot();
+    for &(d, name) in doms {
+        println!(
+            "{name}: {:.1}% steal {:.1} credit {:?}",
+            snap.cpu_percent(d),
+            snap.steal_percent(d),
+            s.credit(d)
+        );
+    }
+}
+
+/// Drives a scheduler forward, discarding completion events, until its
+/// horizon passes `t_end` (or it idles).
+pub fn drive_sched_until(s: &mut CreditScheduler, t_end: Nanos) {
+    let mut evs = Vec::new();
+    while let Some(t) = s.next_event_time() {
+        if t > t_end {
+            break;
+        }
+        evs.clear();
+        s.on_timer(t, &mut evs);
+    }
+}

@@ -1,0 +1,50 @@
+//! Serial vs parallel determinism of the experiment harness: with
+//! identical seeds, the merged experiment tables must be byte-identical
+//! whether the (independent) experiment units run on one worker or many.
+//! Runs under a short smoke cap — determinism does not depend on the
+//! simulated duration.
+
+use metrics::Table;
+use simtest::json::Json;
+
+/// Renders the merged tables the way the `experiments` binary persists
+/// them: a JSON array of `{slug, csv}` objects, in submission order.
+fn render(tables: &[(String, Table)]) -> String {
+    Json::Arr(
+        tables
+            .iter()
+            .map(|(slug, t)| {
+                Json::obj(vec![
+                    ("slug", Json::Str(slug.clone())),
+                    ("csv", Json::Str(t.to_csv())),
+                ])
+            })
+            .collect(),
+    )
+    .to_string()
+}
+
+#[test]
+fn serial_and_parallel_experiments_are_byte_identical() {
+    bench::set_smoke_cap_secs(2);
+    let ids = bench::experiment_ids().to_vec();
+    for seed in [bench::SEED, 7, 1234] {
+        let serial = render(&bench::run_experiments(1, ids.clone(), seed));
+        let parallel = render(&bench::run_experiments(4, ids.clone(), seed));
+        assert_eq!(
+            serial, parallel,
+            "seed {seed}: parallel run diverged from serial"
+        );
+        assert!(!serial.is_empty());
+    }
+}
+
+#[test]
+fn registry_ids_are_unique_and_unknown_ids_are_rejected() {
+    let ids = bench::experiment_ids();
+    let mut sorted: Vec<_> = ids.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), ids.len(), "duplicate experiment id");
+    assert!(bench::run_experiment("no_such_experiment", 1).is_none());
+}

@@ -402,15 +402,19 @@ impl IxpIsland {
     // ------------------------------------------------------------------
 
     /// Next internal completion time, if any work is in flight.
-    pub fn next_event_time(&mut self) -> Option<Nanos> {
+    ///
+    /// This is a read-only O(1) peek: the island's event horizon is the
+    /// head of its internal queue, which keeps itself clean of cancelled
+    /// tombstones on mutation.
+    pub fn next_event_time(&self) -> Option<Nanos> {
         self.q.peek_time()
     }
 
-    /// Advances to `now`, emitting all pipeline outputs that fall due.
-    pub fn on_timer(&mut self, now: Nanos) -> Vec<IxpEvent> {
-        let mut out = Vec::new();
-        self.advance(now, &mut out);
-        out
+    /// Advances to `now`, appending all pipeline outputs that fall due to
+    /// `out` (caller-owned and typically reused, so steady-state dispatch
+    /// does not allocate).
+    pub fn on_timer(&mut self, now: Nanos, out: &mut Vec<IxpEvent>) {
+        self.advance(now, out);
     }
 
     // ------------------------------------------------------------------
@@ -618,7 +622,7 @@ mod tests {
             if t > until {
                 break;
             }
-            out.extend(island.on_timer(t));
+            island.on_timer(t, &mut out);
         }
         out
     }
@@ -733,8 +737,11 @@ mod tests {
                 island.rx_from_wire(Nanos::ZERO, plain(i, 1));
             }
             let mut last = Nanos::ZERO;
+            let mut evs = Vec::new();
             while let Some(t) = island.next_event_time() {
-                for ev in island.on_timer(t) {
+                evs.clear();
+                island.on_timer(t, &mut evs);
+                for ev in &evs {
                     if matches!(ev, IxpEvent::DeliverToHost { .. }) {
                         last = t;
                     }
@@ -760,8 +767,11 @@ mod tests {
             let pkt = Packet::new(1, 1, 1500, AppTag::Http { class_id: 3, write: false });
             island.rx_from_wire(Nanos::ZERO, pkt);
             let mut t_class = Nanos::ZERO;
+            let mut evs = Vec::new();
             while let Some(t) = island.next_event_time() {
-                for ev in island.on_timer(t) {
+                evs.clear();
+                island.on_timer(t, &mut evs);
+                for ev in &evs {
                     if matches!(ev, IxpEvent::Classified { .. }) {
                         t_class = t;
                     }

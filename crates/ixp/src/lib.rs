@@ -33,11 +33,15 @@
 //! let pkt = Packet::new(0, 1, 1500, AppTag::Plain);
 //! island.rx_from_wire(Nanos::ZERO, pkt);
 //! // Drive to completion: the packet crosses Rx → classify → flow queue.
+//! // Outputs land in a reusable caller-owned buffer.
 //! let mut delivered = false;
+//! let mut evs = Vec::new();
 //! while let Some(t) = island.next_event_time() {
-//!     for ev in island.on_timer(t) {
+//!     evs.clear();
+//!     island.on_timer(t, &mut evs);
+//!     for ev in &evs {
 //!         if let IxpEvent::DeliverToHost { flow: f, .. } = ev {
-//!             assert_eq!(f, flow);
+//!             assert_eq!(*f, flow);
 //!             delivered = true;
 //!         }
 //!     }

@@ -29,7 +29,8 @@
 //! let mut mbx: Mailbox<&'static str> = Mailbox::new(Nanos::from_micros(30));
 //! mbx.send(Nanos::ZERO, "tune web +64");
 //! assert_eq!(mbx.next_event_time(), Some(Nanos::from_micros(30)));
-//! let delivered = mbx.on_timer(Nanos::from_micros(30));
+//! let mut delivered = Vec::new();
+//! mbx.on_timer(Nanos::from_micros(30), &mut delivered);
 //! assert_eq!(delivered, vec!["tune web +64"]);
 //! ```
 

@@ -177,14 +177,15 @@ impl HostLink {
     }
 
     /// Next internal event (DMA completion or notification), if any.
-    pub fn next_event_time(&mut self) -> Option<Nanos> {
+    /// Read-only O(1): the horizon is the head of the internal queue.
+    pub fn next_event_time(&self) -> Option<Nanos> {
         self.q.peek_time()
     }
 
-    /// Advances to `now`, returning notifications and IXP-bound arrivals.
-    pub fn on_timer(&mut self, now: Nanos) -> Vec<PcieEvent> {
+    /// Advances to `now`, appending notifications and IXP-bound arrivals
+    /// to `out` (caller-owned and typically reused across calls).
+    pub fn on_timer(&mut self, now: Nanos, out: &mut Vec<PcieEvent>) {
         self.now = self.now.max(now);
-        let mut out = Vec::new();
         while let Some(t) = self.q.peek_time() {
             if t > now {
                 break;
@@ -212,7 +213,6 @@ impl HostLink {
                 }
             }
         }
-        out
     }
 
     fn schedule_notify(&mut self, now: Nanos) {
@@ -247,7 +247,7 @@ mod tests {
             if t > until {
                 break;
             }
-            out.extend(l.on_timer(t));
+            l.on_timer(t, &mut out);
         }
         out
     }
@@ -408,12 +408,15 @@ mod tests {
         let mut l = HostLink::new(cfg);
         let mut notifies = 0;
         // Post steadily for 10 ms, servicing promptly after each notify.
+        let mut evs = Vec::new();
         for i in 0..100u64 {
             l.post_to_host(Nanos::from_micros(i * 100), FlowId(0), pkt(i, 100));
-            for ev in l.on_timer(Nanos::from_micros(i * 100 + 50)) {
+            evs.clear();
+            l.on_timer(Nanos::from_micros(i * 100 + 50), &mut evs);
+            for ev in &evs {
                 if let PcieEvent::HostNotify { at, .. } = ev {
                     notifies += 1;
-                    l.host_take(at, usize::MAX);
+                    l.host_take(*at, usize::MAX);
                 }
             }
         }

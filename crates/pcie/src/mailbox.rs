@@ -39,23 +39,22 @@ impl<M> Mailbox<M> {
         self.sent += 1;
     }
 
-    /// Arrival time of the earliest undelivered message.
-    pub fn next_event_time(&mut self) -> Option<Nanos> {
+    /// Arrival time of the earliest undelivered message (read-only O(1)).
+    pub fn next_event_time(&self) -> Option<Nanos> {
         self.q.peek_time()
     }
 
-    /// Delivers every message that has arrived by `now`, in send order.
-    pub fn on_timer(&mut self, now: Nanos) -> Vec<M> {
-        let mut out = Vec::new();
+    /// Delivers every message that has arrived by `now`, in send order,
+    /// appending to `out` (caller-owned and typically reused across calls).
+    pub fn on_timer(&mut self, now: Nanos, out: &mut Vec<M>) {
         while let Some(t) = self.q.peek_time() {
             if t > now {
                 break;
             }
             let (_, m) = self.q.pop().expect("peeked");
             out.push(m);
+            self.delivered += 1;
         }
-        self.delivered += out.len() as u64;
-        out
     }
 
     /// Configured one-way latency.
@@ -88,13 +87,19 @@ impl<M> Mailbox<M> {
 mod tests {
     use super::*;
 
+    fn deliveries<M>(m: &mut Mailbox<M>, now: Nanos) -> Vec<M> {
+        let mut out = Vec::new();
+        m.on_timer(now, &mut out);
+        out
+    }
+
     #[test]
     fn delivers_after_latency_in_order() {
         let mut m = Mailbox::new(Nanos::from_micros(10));
         m.send(Nanos::ZERO, 1);
         m.send(Nanos::from_micros(1), 2);
-        assert_eq!(m.on_timer(Nanos::from_micros(9)), Vec::<i32>::new());
-        assert_eq!(m.on_timer(Nanos::from_micros(11)), vec![1, 2]);
+        assert_eq!(deliveries(&mut m, Nanos::from_micros(9)), Vec::<i32>::new());
+        assert_eq!(deliveries(&mut m, Nanos::from_micros(11)), vec![1, 2]);
         assert_eq!(m.in_flight(), 0);
         assert_eq!((m.sent(), m.delivered()), (2, 2));
     }
@@ -104,7 +109,7 @@ mod tests {
         let mut m = Mailbox::new(Nanos::ZERO);
         m.send(Nanos::from_millis(5), "x");
         assert_eq!(m.next_event_time(), Some(Nanos::from_millis(5)));
-        assert_eq!(m.on_timer(Nanos::from_millis(5)), vec!["x"]);
+        assert_eq!(deliveries(&mut m, Nanos::from_millis(5)), vec!["x"]);
     }
 
     #[test]
@@ -114,7 +119,7 @@ mod tests {
         m.set_latency(Nanos::from_micros(1));
         m.send(Nanos::ZERO, 'b');
         // 'b' arrives before 'a' (different latencies).
-        assert_eq!(m.on_timer(Nanos::from_micros(2)), vec!['b']);
-        assert_eq!(m.on_timer(Nanos::from_micros(30)), vec!['a']);
+        assert_eq!(deliveries(&mut m, Nanos::from_micros(2)), vec!['b']);
+        assert_eq!(deliveries(&mut m, Nanos::from_micros(30)), vec!['a']);
     }
 }

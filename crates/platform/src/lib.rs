@@ -46,7 +46,9 @@ mod rubis_path;
 mod world;
 
 pub use config::{MplayerScenario, PlatformBuilder, PlayerSpec, RubisScenario};
-pub use report::{CoordReport, DomCpu, NetReport, PlayerReport, PowerReport, RubisReport, RunReport};
+pub use report::{
+    CoordReport, DomCpu, NetReport, PlayerReport, PowerReport, RubisReport, RunReport, SimRate,
+};
 pub use world::Platform;
 
 // Re-export the types callers need to configure scenarios without extra

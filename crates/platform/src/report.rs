@@ -93,6 +93,22 @@ pub struct PowerReport {
     pub series: Series,
 }
 
+/// Simulator throughput over one run (wall-clock instrumentation).
+///
+/// These fields describe the *simulator*, not the simulated system: they
+/// vary run to run with host load and are deliberately excluded from the
+/// deterministic experiment tables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimRate {
+    /// Master-loop events dispatched.
+    pub events: u64,
+    /// Wall-clock time spent inside [`Platform::run`](crate::Platform::run)
+    /// in microseconds.
+    pub wall_micros: u64,
+    /// Dispatch rate in events per wall-clock second.
+    pub events_per_sec: f64,
+}
+
 /// Everything measured over one [`Platform::run`](crate::Platform::run).
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -120,6 +136,8 @@ pub struct RunReport {
     pub buffer_series: Series,
     /// Modelled platform power.
     pub power: PowerReport,
+    /// Simulator throughput (events dispatched, wall time, events/sec).
+    pub sim_rate: SimRate,
 }
 
 impl RunReport {

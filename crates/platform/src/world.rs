@@ -2,7 +2,9 @@
 //! that chains island events into each other at identical timestamps.
 
 use crate::config::{HostCosts, MplayerScenario, PlatformBuilder, RubisScenario};
-use crate::report::{CoordReport, DomCpu, NetReport, PlayerReport, PowerReport, RubisReport, RunReport};
+use crate::report::{
+    CoordReport, DomCpu, NetReport, PlayerReport, PowerReport, RubisReport, RunReport, SimRate,
+};
 use coord::{
     Action, BufferTriggerPolicy, Controller, CoordMsg, CoordinationPolicy, EntityId,
     HysteresisPolicy, IslandId, IslandKind, NullPolicy, Observation, PolicyKind,
@@ -170,6 +172,15 @@ pub struct Platform {
     pub(crate) power_series: Series,
     pub(crate) delivered_prev: u64,
     pub(crate) ncpus: u32,
+    // Reusable dispatch buffers: each `on_timer` arm of the master loop
+    // takes its buffer, appends into it, drains it, and puts it back, so
+    // steady-state dispatch allocates nothing. Re-entrant absorb paths
+    // (e.g. link → tx_from_host → absorb_ixp) use the by-value input
+    // methods and never touch these.
+    pub(crate) scratch_sched: Vec<SchedEvent>,
+    pub(crate) scratch_ixp: Vec<IxpEvent>,
+    pub(crate) scratch_link: Vec<PcieEvent>,
+    pub(crate) scratch_mbx: Vec<Vec<u8>>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -245,6 +256,10 @@ impl Platform {
             power_series: Series::new(),
             delivered_prev: 0,
             ncpus: b.ncpus,
+            scratch_sched: Vec::new(),
+            scratch_ixp: Vec::new(),
+            scratch_link: Vec::new(),
+            scratch_mbx: Vec::new(),
         }
     }
 
@@ -462,7 +477,13 @@ impl Platform {
     // ------------------------------------------------------------------
 
     /// Runs the simulation for `duration` and returns the measurements.
+    ///
+    /// Each iteration peeks the five event sources — all O(1) reads: the
+    /// queues keep a live head and the scheduler memoises its horizon —
+    /// and dispatches the earliest through a reusable scratch buffer.
     pub fn run(&mut self, duration: Nanos) -> RunReport {
+        let wall_start = std::time::Instant::now();
+        let mut events: u64 = 0;
         let t_end = self.now + duration;
         self.run_end = t_end;
         self.q.schedule(self.now + self.sample_period, Ev::Sample);
@@ -513,36 +534,48 @@ impl Platform {
                 break;
             }
             self.now = t;
+            events += 1;
             match src {
                 Src::Queue => {
                     let (_, ev) = self.q.pop().expect("peeked");
                     self.handle_ev(ev);
                 }
                 Src::Sched => {
-                    let evs = self.sched.on_timer(t);
-                    self.absorb_sched(evs);
+                    let mut evs = std::mem::take(&mut self.scratch_sched);
+                    self.sched.on_timer(t, &mut evs);
+                    self.absorb_sched_drain(&mut evs);
+                    self.scratch_sched = evs;
                 }
                 Src::Ixp => {
-                    let evs = self.ixp.on_timer(t);
-                    self.absorb_ixp(evs);
+                    let mut evs = std::mem::take(&mut self.scratch_ixp);
+                    self.ixp.on_timer(t, &mut evs);
+                    self.absorb_ixp_drain(&mut evs);
+                    self.scratch_ixp = evs;
                 }
                 Src::Link => {
-                    let evs = self.link.on_timer(t);
-                    self.absorb_link(evs);
+                    let mut evs = std::mem::take(&mut self.scratch_link);
+                    self.link.on_timer(t, &mut evs);
+                    self.absorb_link_drain(&mut evs);
+                    self.scratch_link = evs;
                 }
                 Src::Mbx => {
-                    let msgs = self.mbx.on_timer(t);
-                    for m in msgs {
+                    let mut msgs = std::mem::take(&mut self.scratch_mbx);
+                    self.mbx.on_timer(t, &mut msgs);
+                    for m in msgs.drain(..) {
                         self.handle_coord_delivery(m);
                     }
+                    self.scratch_mbx = msgs;
                 }
                 Src::None => unreachable!(),
             }
         }
         self.now = t_end;
-        let evs = self.sched.on_timer(t_end);
-        self.absorb_sched(evs);
-        self.build_report(duration)
+        let mut evs = std::mem::take(&mut self.scratch_sched);
+        self.sched.on_timer(t_end, &mut evs);
+        self.absorb_sched_drain(&mut evs);
+        self.scratch_sched = evs;
+        let wall_micros = wall_start.elapsed().as_micros() as u64;
+        self.build_report(duration, events, wall_micros)
     }
 
     fn start_workload(&mut self) {
@@ -597,8 +630,12 @@ impl Platform {
         }
     }
 
-    pub(crate) fn absorb_sched(&mut self, evs: Vec<SchedEvent>) {
-        for ev in evs {
+    pub(crate) fn absorb_sched(&mut self, mut evs: Vec<SchedEvent>) {
+        self.absorb_sched_drain(&mut evs);
+    }
+
+    fn absorb_sched_drain(&mut self, evs: &mut Vec<SchedEvent>) {
+        for ev in evs.drain(..) {
             let SchedEvent::Completed { tag, .. } = ev;
             let Some(ctx) = self.tags.remove(&tag) else { continue };
             self.handle_ctx(ctx);
@@ -639,8 +676,12 @@ impl Platform {
         }
     }
 
-    pub(crate) fn absorb_ixp(&mut self, evs: Vec<IxpEvent>) {
-        for ev in evs {
+    pub(crate) fn absorb_ixp(&mut self, mut evs: Vec<IxpEvent>) {
+        self.absorb_ixp_drain(&mut evs);
+    }
+
+    fn absorb_ixp_drain(&mut self, evs: &mut Vec<IxpEvent>) {
+        for ev in evs.drain(..) {
             match ev {
                 IxpEvent::Classified { flow, pkt, .. } => self.on_classified(flow, pkt),
                 IxpEvent::DeliverToHost { flow, pkt, .. } => {
@@ -653,8 +694,8 @@ impl Platform {
         }
     }
 
-    pub(crate) fn absorb_link(&mut self, evs: Vec<PcieEvent>) {
-        for ev in evs {
+    fn absorb_link_drain(&mut self, evs: &mut Vec<PcieEvent>) {
+        for ev in evs.drain(..) {
             match ev {
                 PcieEvent::HostNotify { pending, .. } => {
                     if !self.driver_pending {
@@ -919,7 +960,7 @@ impl Platform {
         }
     }
 
-    fn build_report(&mut self, duration: Nanos) -> RunReport {
+    fn build_report(&mut self, duration: Nanos, events: u64, wall_micros: u64) -> RunReport {
         let snap = self.sched.usage_snapshot();
         let mut cpu = Vec::new();
         let mut total = 0.0;
@@ -1010,6 +1051,15 @@ impl Platform {
             cpu_series,
             buffer_series: std::mem::take(&mut self.buffer_series),
             power,
+            sim_rate: SimRate {
+                events,
+                wall_micros,
+                events_per_sec: if wall_micros > 0 {
+                    events as f64 * 1e6 / wall_micros as f64
+                } else {
+                    0.0
+                },
+            },
         }
     }
 

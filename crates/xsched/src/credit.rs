@@ -25,11 +25,16 @@
 //! [`on_timer`](CreditScheduler::on_timer) whenever
 //! [`next_event_time`](CreditScheduler::next_event_time) falls due. Every
 //! input method returns the [`SchedEvent`]s (burst completions) produced
-//! while catching up to the call time, so no completion is ever lost.
+//! while catching up to the call time, so no completion is ever lost;
+//! `on_timer` appends its completions to a caller-owned scratch buffer so
+//! the steady-state dispatch loop performs no allocation. The horizon
+//! returned by `next_event_time` is memoized behind a dirty flag and
+//! invalidated only by state-mutating calls.
 
 use crate::runstate::UsageAccum;
 use crate::{Burst, BurstKind, DomId, Domain, PcpuId, RunstateSnapshot, SchedError};
 use simcore::Nanos;
+use std::cell::Cell;
 use std::collections::{BTreeMap, VecDeque};
 
 /// Lower bound on accumulated credit debt. Deliberately generous: a tight
@@ -172,6 +177,16 @@ struct Pcpu {
     runq: VecDeque<usize>,
 }
 
+/// Cached event horizon: recomputing it scans every VCPU and pCPU, so the
+/// value is memoized between state mutations.
+#[derive(Debug, Clone, Copy)]
+enum HorizonCache {
+    /// State changed since the last computation.
+    Dirty,
+    /// Memoized result of the last from-scratch computation.
+    Clean(Option<Nanos>),
+}
+
 /// The credit scheduler island. See the module-level documentation for the
 /// algorithm and driving contract.
 #[derive(Debug)]
@@ -189,6 +204,7 @@ pub struct CreditScheduler {
     ctx_switches: u64,
     migrations: u64,
     preemptions: u64,
+    horizon: Cell<HorizonCache>,
 }
 
 impl CreditScheduler {
@@ -218,6 +234,7 @@ impl CreditScheduler {
             ctx_switches: 0,
             migrations: 0,
             preemptions: 0,
+            horizon: Cell::new(HorizonCache::Dirty),
         }
     }
 
@@ -256,6 +273,7 @@ impl CreditScheduler {
         }
         self.dom_vcpus.insert(id, idxs);
         self.usage.register(id);
+        self.dirty_horizon();
         id
     }
 
@@ -448,23 +466,33 @@ impl CreditScheduler {
 
     /// The next instant at which the scheduler needs to act (tick, slice
     /// expiry or burst completion), or `None` when fully idle.
+    ///
+    /// The answer is cached behind a dirty flag: state-mutating calls
+    /// invalidate it, and repeated peeks between mutations (the master
+    /// loop's steady state) return the memoized value without rescanning
+    /// VCPUs and pCPUs.
     pub fn next_event_time(&self) -> Option<Nanos> {
+        if let HorizonCache::Clean(t) = self.horizon.get() {
+            return t;
+        }
+        let t = self.compute_horizon();
+        self.horizon.set(HorizonCache::Clean(t));
+        t
+    }
+
+    /// From-scratch horizon scan over all VCPUs and pCPUs. The cached
+    /// [`next_event_time`](Self::next_event_time) must always agree with
+    /// this (asserted by the randomized-operations test).
+    fn compute_horizon(&self) -> Option<Nanos> {
         let mut next: Option<Nanos> = None;
         let mut fold = |t: Nanos| {
             next = Some(next.map_or(t, |n: Nanos| n.min(t)));
         };
-        let mut any_active = false;
-        for v in &self.vcpus {
-            match v.state {
-                RunState::Running | RunState::Runnable => any_active = true,
-                RunState::Parked => {
-                    if !v.work.is_empty() {
-                        any_active = true;
-                    }
-                }
-                RunState::Blocked => {}
-            }
-        }
+        let any_active = self.vcpus.iter().any(|v| match v.state {
+            RunState::Running | RunState::Runnable => true,
+            RunState::Parked => !v.work.is_empty(),
+            RunState::Blocked => false,
+        });
         if any_active {
             fold(self.next_tick);
         }
@@ -479,14 +507,26 @@ impl CreditScheduler {
         next
     }
 
+    /// Invalidates the memoized event horizon. Called from the internal
+    /// choke points every mutation path runs through (`charge_to`,
+    /// `handle_boundaries`, `reschedule`, domain creation).
+    fn dirty_horizon(&self) {
+        self.horizon.set(HorizonCache::Dirty);
+    }
+
     /// Advances the scheduler to `now`, processing every internal boundary
-    /// (ticks, accounting, slice rotation, completions) on the way. Returns
-    /// the completions produced.
-    pub fn on_timer(&mut self, now: Nanos) -> Vec<SchedEvent> {
-        let mut out = Vec::new();
-        self.advance(now, &mut out);
-        self.reschedule();
-        out
+    /// (ticks, accounting, slice rotation, completions) on the way,
+    /// appending the completions produced to `out` (which the caller owns
+    /// and typically reuses across calls, so steady-state dispatch does not
+    /// allocate).
+    pub fn on_timer(&mut self, now: Nanos, out: &mut Vec<SchedEvent>) {
+        // `advance` reports whether its boundary loop already rescheduled
+        // at exactly `now` with nothing mutated since; the trailing
+        // reschedule (and the horizon recompute it forces) is redundant
+        // then — the common case when driven at the cached horizon.
+        if !self.advance(now, out) {
+            self.reschedule();
+        }
     }
 
     /// Last time the scheduler state was synchronised.
@@ -576,9 +616,13 @@ impl CreditScheduler {
     // ------------------------------------------------------------------
 
     /// Processes all internal boundaries up to `now`, then charges partial
-    /// progress to `now`.
-    fn advance(&mut self, now: Nanos, out: &mut Vec<SchedEvent>) {
+    /// progress to `now`. Returns `true` when the state was left exactly as
+    /// the boundary loop's own `reschedule()` at `now` produced it (no
+    /// partial charge followed), so the caller may skip its trailing
+    /// reschedule.
+    fn advance(&mut self, now: Nanos, out: &mut Vec<SchedEvent>) -> bool {
         debug_assert!(now >= self.now, "scheduler time went backwards");
+        let mut rescheduled_at_now = false;
         while let Some(t) = self.next_event_time() {
             if t > now {
                 break;
@@ -587,21 +631,32 @@ impl CreditScheduler {
             self.now = t;
             self.handle_boundaries(t);
             self.reschedule();
+            rescheduled_at_now = t == now;
         }
-        self.charge_to(now, out);
-        self.now = now;
+        if now > self.now {
+            // `self.now` is only ever set right after charging every pCPU
+            // to that same instant, so `now == self.now` means this charge
+            // would be a no-op — skipping it preserves the clean horizon
+            // computed by the loop's exit test.
+            self.charge_to(now, out);
+            self.now = now;
+            rescheduled_at_now = false;
+        }
         if self.next_tick <= now {
             // Ticks were skipped while the platform was fully idle (they
             // would have been no-ops); realign to the tick grid.
             let tick = self.cfg.tick.as_nanos();
             self.next_tick = Nanos((now.as_nanos() / tick + 1) * tick);
             self.ticks_until_acct = self.cfg.ticks_per_acct;
+            self.dirty_horizon();
         }
+        rescheduled_at_now
     }
 
     /// Charges running VCPUs for the time since their last charge, emitting
     /// burst completions and blocking VCPUs that run out of work.
     fn charge_to(&mut self, t: Nanos, out: &mut Vec<SchedEvent>) {
+        self.dirty_horizon();
         for pi in 0..self.pcpus.len() {
             let Some(vi) = self.pcpus[pi].running else {
                 self.pcpus[pi].last_charge = t;
@@ -656,7 +711,10 @@ impl CreditScheduler {
     }
 
     /// Handles tick / accounting / slice boundaries due exactly at `t`.
+    /// The caller must `reschedule()` afterwards (which starts with the
+    /// preemption scan this used to duplicate back-to-back).
     fn handle_boundaries(&mut self, t: Nanos) {
+        self.dirty_horizon();
         while self.next_tick <= t {
             self.do_tick();
             self.next_tick += self.cfg.tick;
@@ -669,7 +727,6 @@ impl CreditScheduler {
                 self.ctx_switches += 1;
             }
         }
-        self.preempt_where_needed(t);
     }
 
     fn do_tick(&mut self) {
@@ -840,6 +897,7 @@ impl CreditScheduler {
 
     /// Fills every idle pCPU from its runqueue or by stealing.
     fn reschedule(&mut self) {
+        self.dirty_horizon();
         let t = self.now;
         self.preempt_where_needed(t);
         for pi in 0..self.pcpus.len() {
@@ -1059,9 +1117,9 @@ mod tests {
             if next > t {
                 break;
             }
-            out.extend(s.on_timer(next));
+            s.on_timer(next, &mut out);
         }
-        out.extend(s.on_timer(t));
+        s.on_timer(t, &mut out);
         out
     }
 
@@ -1273,7 +1331,8 @@ mod tests {
         let mut s = CreditScheduler::new(SchedConfig::new(2));
         s.create_domain("a", 256, 1);
         assert_eq!(s.next_event_time(), None);
-        let out = s.on_timer(Nanos::from_secs(1));
+        let mut out = Vec::new();
+        s.on_timer(Nanos::from_secs(1), &mut out);
         assert!(out.is_empty());
     }
 
@@ -1399,7 +1458,7 @@ mod tests {
                     if next > Nanos::from_millis(i * 10 + 10) {
                         break;
                     }
-                    s.on_timer(next);
+                    s.on_timer(next, &mut Vec::new());
                 }
             }
             s.credit(d).unwrap()
@@ -1576,6 +1635,59 @@ mod tests {
             snap.cpu_percent(a),
             snap.cpu_percent(b)
         );
+    }
+
+    #[test]
+    fn cached_horizon_matches_recomputation_under_random_ops() {
+        // Drive the scheduler through a long randomized operation mix and
+        // assert after every single operation that the memoized
+        // next_event_time equals a from-scratch horizon scan. Any missed
+        // dirty-flag invalidation shows up here.
+        use simcore::SimRng;
+        for seed in [1u64, 42, 0xDEAD] {
+            let mut rng = SimRng::new(seed);
+            let mut s = CreditScheduler::new(SchedConfig::new(2));
+            let doms: Vec<DomId> = (0..4).map(|i| {
+                s.create_domain(&format!("d{i}"), 128 + 128 * i, 1 + (i % 2))
+            }).collect();
+            let mut now = Nanos::ZERO;
+            for _ in 0..2_000 {
+                let dom = doms[rng.below(doms.len() as u64) as usize];
+                match rng.below(9) {
+                    0 | 1 | 2 => {
+                        let demand = Nanos::from_micros(rng.range(0, 20_000));
+                        let wake = if rng.chance(0.5) { WakeMode::Boost } else { WakeMode::Plain };
+                        s.submit(now, dom, Burst::user(demand, rng.next_u64()), wake).unwrap();
+                    }
+                    3 | 4 => {
+                        now += Nanos::from_micros(rng.range(0, 15_000));
+                        s.on_timer(now, &mut Vec::new());
+                    }
+                    5 => {
+                        s.boost_front(now, dom).unwrap();
+                    }
+                    6 => {
+                        s.grant_credit(dom, rng.range(1, 200) as i32).unwrap();
+                    }
+                    7 => {
+                        s.notify(now, dom).unwrap();
+                    }
+                    _ => match rng.below(4) {
+                        0 => s.set_weight(dom, rng.range(1, 1024) as u32).unwrap(),
+                        1 => s.set_cap(dom, rng.range(0, 150) as u32).unwrap(),
+                        2 => s.pin_domain(dom, &[PcpuId(rng.below(2) as u32)]).unwrap(),
+                        _ => {
+                            let _ = s.usage_snapshot();
+                        }
+                    },
+                }
+                assert_eq!(
+                    s.next_event_time(),
+                    s.compute_horizon(),
+                    "cached horizon diverged from recomputation (seed {seed})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -32,9 +32,11 @@
 //! let mut s = CreditScheduler::new(SchedConfig::new(2));
 //! let web = s.create_domain("web", 256, 1);
 //! s.submit(Nanos::ZERO, web, Burst::user(Nanos::from_millis(5), 1), WakeMode::Plain);
-//! // Drive the scheduler to its next internal event:
+//! // Drive the scheduler to its next internal event, collecting burst
+//! // completions into a reusable caller-owned buffer:
 //! let t = s.next_event_time().unwrap();
-//! let done = s.on_timer(t);
+//! let mut done = Vec::new();
+//! s.on_timer(t, &mut done);
 //! assert_eq!(done.len(), 1); // the 5 ms burst completed
 //! ```
 

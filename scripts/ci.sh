@@ -22,4 +22,32 @@ for suite in micro scheduler ixp_pipeline paper_artifacts; do
     echo "    ok: $report"
 done
 
+echo "==> experiments smoke pass (--smoke --jobs 2)"
+baseline=$(mktemp)
+git show HEAD:results/BENCH_experiments.json > "$baseline" 2>/dev/null || true
+./target/release/experiments --smoke --jobs 2 all > /dev/null
+report="results/BENCH_experiments.json"
+[ -s "$report" ] || { echo "missing or empty $report" >&2; exit 1; }
+python3 -m json.tool "$report" > /dev/null \
+    || { echo "$report is not valid JSON" >&2; exit 1; }
+python3 - "$report" "$baseline" <<'EOF'
+import json, os, sys
+r = json.load(open(sys.argv[1]))
+sr = r["sim_rate"]
+print(f"    experiments: {len(r['tables'])} tables, wall {r['wall_micros']/1e6:.2f} s, "
+      f"{int(sr['events'])} events @ {sr['events_per_sec']:.0f} events/s")
+base = sys.argv[2]
+if os.path.isfile(base) and os.path.getsize(base) > 0:
+    b = json.load(open(base)).get("sim_rate", {})
+    if b.get("events_per_sec", 0) > 0:
+        ratio = sr["events_per_sec"] / b["events_per_sec"]
+        print(f"    rate vs committed baseline: {ratio:.2f}x "
+              f"(baseline {b['events_per_sec']:.0f} events/s)")
+        if ratio < 0.5:
+            # Warn-only: CI machines vary too much for a hard gate.
+            print("    warning: event rate below half the committed baseline",
+                  file=sys.stderr)
+EOF
+rm -f "$baseline"
+
 echo "CI pass complete."

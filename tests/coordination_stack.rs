@@ -66,8 +66,10 @@ fn tune_travels_policy_to_scheduler() {
         mbx.send(Nanos::ZERO, buf);
     }
     // Nothing before the channel latency elapses.
-    assert!(mbx.on_timer(Nanos::from_micros(29)).is_empty());
-    let delivered = mbx.on_timer(Nanos::from_micros(30));
+    let mut delivered = Vec::new();
+    mbx.on_timer(Nanos::from_micros(29), &mut delivered);
+    assert!(delivered.is_empty());
+    mbx.on_timer(Nanos::from_micros(30), &mut delivered);
     assert_eq!(delivered.len(), msgs.len());
 
     let mut ctl_weights = Vec::new();
@@ -156,12 +158,15 @@ fn trigger_grants_priority_and_credit() {
             let mut ctl = XenCtl::new(&mut sched);
             ctl.trigger_boost(Nanos::from_micros(100), victim).unwrap();
         }
+        let mut evs = Vec::new();
         loop {
             let Some(t) = sched.next_event_time() else { panic!("work pending") };
             assert!(t < Nanos::from_secs(2), "victim never completed");
-            for ev in sched.on_timer(t) {
+            evs.clear();
+            sched.on_timer(t, &mut evs);
+            for ev in &evs {
                 if let archipelago::xsched::SchedEvent::Completed { tag: 9, at, .. } = ev {
-                    return at;
+                    return *at;
                 }
             }
         }

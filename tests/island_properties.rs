@@ -19,8 +19,15 @@ fn settle(link: &mut HostLink, until: Nanos) -> Vec<PcieEvent> {
         if t > until {
             break;
         }
-        out.extend(link.on_timer(t));
+        link.on_timer(t, &mut out);
     }
+    out
+}
+
+/// One `on_timer` step, collected into a fresh buffer.
+fn timer_events(link: &mut HostLink, now: Nanos) -> Vec<PcieEvent> {
+    let mut out = Vec::new();
+    link.on_timer(now, &mut out);
     out
 }
 
@@ -54,7 +61,7 @@ fn pcie_link_conserves_descriptors() {
                 link.post_to_host(now, FlowId(0), pkt(i as u64, len));
                 // Interleave servicing so the ring occupancy varies: on a
                 // notification, the host drains a bounded batch.
-                for ev in link.on_timer(now) {
+                for ev in timer_events(&mut link, now) {
                     if let PcieEvent::HostNotify { at, .. } = ev {
                         link.host_take(at, *batch as usize);
                     }
@@ -116,7 +123,7 @@ fn pcie_link_drains_in_fifo_order() {
             for id in 0..count {
                 now += Nanos::from_micros(10);
                 link.post_to_host(now, FlowId(0), pkt(id, 256));
-                for ev in link.on_timer(now) {
+                for ev in timer_events(&mut link, now) {
                     if let PcieEvent::HostNotify { at, .. } = ev {
                         take(&mut link, at);
                     }
@@ -166,7 +173,7 @@ fn pcie_link_moderates_interrupt_rate() {
             for (i, &gap) in gaps.iter().enumerate() {
                 now += Nanos::from_micros(gap);
                 link.post_to_host(now, FlowId(0), pkt(i as u64, 128));
-                for ev in link.on_timer(now) {
+                for ev in timer_events(&mut link, now) {
                     if let PcieEvent::HostNotify { at, .. } = ev {
                         notify_times.push(at);
                         link.host_take(at, *batch as usize);

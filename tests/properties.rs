@@ -72,6 +72,82 @@ fn event_queue_cancellation_removes_exactly_the_cancelled() {
     );
 }
 
+/// Arbitrary interleavings of schedule/cancel/pop stay in lock-step with
+/// a brute-force reference model: `peek_time` always reports the live
+/// minimum, `len` counts exactly the live entries, pops come out in
+/// (time, FIFO) order, and cancelled entries never surface. Exercises the
+/// tombstone sweep and the amortized compaction across mixed traffic.
+#[test]
+fn event_queue_interleaving_matches_reference_model() {
+    let ops = vec_of(zip2(Gen::u64_in(0, 2), Gen::u64_in(0, 999_999)), 1, 300);
+    check(
+        "event_queue_interleaving_matches_reference_model",
+        &ops,
+        |ops| {
+            let mut q = EventQueue::new();
+            let mut keys = Vec::new(); // insertion index -> cancellation key
+            let mut model: Vec<Option<u64>> = Vec::new(); // index -> live time
+            let live_min = |model: &[Option<u64>]| {
+                model
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, t)| t.map(|t| (t, i)))
+                    .min()
+            };
+            for &(op, arg) in ops {
+                let min = live_min(&model);
+                st_assert_eq!(
+                    q.peek_time(),
+                    min.map(|(t, _)| Nanos(t)),
+                    "peek reports the live minimum"
+                );
+                st_assert_eq!(q.len(), model.iter().flatten().count());
+                match op {
+                    0 => {
+                        keys.push(q.schedule(Nanos(arg), model.len()));
+                        model.push(Some(arg));
+                    }
+                    1 => {
+                        let live: Vec<usize> = model
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, t)| t.map(|_| i))
+                            .collect();
+                        if live.is_empty() {
+                            st_assert!(q.pop().is_none(), "empty queue has nothing to pop");
+                            continue;
+                        }
+                        let i = live[(arg % live.len() as u64) as usize];
+                        st_assert!(q.cancel(keys[i]), "cancel of a live entry succeeds");
+                        st_assert!(!q.cancel(keys[i]), "double cancel is rejected");
+                        model[i] = None;
+                    }
+                    _ => match min {
+                        None => st_assert!(q.pop().is_none(), "empty queue has nothing to pop"),
+                        Some((t, i)) => {
+                            let (pt, pi) = q.pop().expect("model says an entry is pending");
+                            st_assert_eq!((pt, pi), (Nanos(t), i), "pop follows (time, FIFO) order");
+                            st_assert!(!q.cancel(keys[i]), "cancel after pop is rejected");
+                            model[i] = None;
+                        }
+                    },
+                }
+            }
+            while let Some((t, i)) = q.pop() {
+                let min = live_min(&model);
+                st_assert_eq!(Some((t.0, i)), min.map(|(t, i)| (t, i)), "drain order");
+                model[i] = None;
+            }
+            st_assert!(
+                model.iter().all(Option::is_none),
+                "every live model entry was drained"
+            );
+            st_assert_eq!(q.storage_len(), 0, "drained queue holds no tombstones");
+            Ok(())
+        },
+    );
+}
+
 #[test]
 fn rng_streams_are_reproducible() {
     check("rng_streams_are_reproducible", &Gen::u64_any(), |&seed| {
@@ -303,11 +379,13 @@ fn credit_scheduler_is_weight_proportional() {
                 .map_err(|e| format!("submit a: {e:?}"))?;
             s.submit(Nanos::ZERO, b, Burst::user(Nanos::from_secs(30), 2), WakeMode::Plain)
                 .map_err(|e| format!("submit b: {e:?}"))?;
+            let mut evs = Vec::new();
             while let Some(t) = s.next_event_time() {
                 if t > Nanos::from_secs(10) {
                     break;
                 }
-                s.on_timer(t);
+                evs.clear();
+                s.on_timer(t, &mut evs);
             }
             let snap = s.usage_snapshot();
             let ua = snap.cpu_percent(a);
