@@ -19,7 +19,10 @@ pub mod summary;
 use coord::PolicyKind;
 use metrics::Table;
 use pcie::NotifyMode;
-use platform::{MplayerScenario, Platform, PlatformBuilder, RubisScenario, RunReport};
+use platform::{
+    FaultProfile, Jitter, MplayerScenario, Platform, PlatformBuilder, ReliableConfig,
+    RubisScenario, RunReport,
+};
 use simcore::Nanos;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -81,6 +84,39 @@ fn run_rubis(policy: PolicyKind, scenario: RubisScenario, seed: u64) -> RunRepor
         .policy(policy)
         .build_rubis(scenario);
     timed_run(&mut sim, sim_secs(RUBIS_SECS))
+}
+
+fn run_rubis_faulty(
+    policy: PolicyKind,
+    scenario: RubisScenario,
+    seed: u64,
+    profile: FaultProfile,
+    reliable: Option<ReliableConfig>,
+) -> RunReport {
+    let mut b = PlatformBuilder::new()
+        .seed(seed)
+        .policy(policy)
+        .fault_profile(profile);
+    if let Some(cfg) = reliable {
+        b = b.reliable_delivery(cfg);
+    }
+    let mut sim = b.build_rubis(scenario);
+    timed_run(&mut sim, sim_secs(RUBIS_SECS))
+}
+
+/// Unweighted average of the per-request-type mean response times — the
+/// single-number summary the reliability sweeps compare across variants.
+fn mean_response_ms(r: &RunReport) -> f64 {
+    let (mut sum, mut n) = (0.0, 0u32);
+    for (_, s) in r.rubis.responses.iter() {
+        sum += s.mean();
+        n += 1;
+    }
+    if n > 0 {
+        sum / n as f64
+    } else {
+        0.0
+    }
 }
 
 fn fmt(v: f64) -> String {
@@ -812,6 +848,137 @@ pub fn coordination_overhead(seed: u64) -> Table {
 }
 
 // ----------------------------------------------------------------------
+// R1 / R2 — coordination under an unreliable channel
+// ----------------------------------------------------------------------
+
+/// R1: coordination benefit vs. message-loss rate. Table-1-style deltas
+/// (mean RUBiS response time vs. the uncoordinated baseline) as the
+/// coordination channel's drop probability sweeps 0 → 20%.
+///
+/// The expected shape: the baseline sends no coordination traffic, so it
+/// is loss-invariant by construction; fire-and-forget coordination decays
+/// toward (or past) the baseline as tunes are silently lost and the
+/// policy's view of the communicated weights drifts from reality; ack/
+/// retry recovers most of the lossless benefit at the cost of retransmit
+/// traffic.
+///
+/// Response means under RUBiS are heavy-tailed (σ ≈ half the mean), so a
+/// single run's mean moves several percent with the fault draws alone;
+/// every cell averages `R1_SEEDS` independent seeds to isolate the loss
+/// effect from that noise. Counter columns are per-run means.
+pub fn reliability_r1(seed: u64) -> Table {
+    const R1_SEEDS: u64 = 5;
+    let scenario = RubisScenario::read_write_mix(24);
+    let mut t = Table::new(
+        "R1 — coordination benefit vs message-loss rate (RUBiS mean ms)",
+        &[
+            "loss %",
+            "Base",
+            "f&f",
+            "ack/retry",
+            "f&f change %",
+            "ack change %",
+            "drops",
+            "retransmits",
+            "gave up",
+            "degraded s",
+        ],
+    );
+    for loss in [0.0, 0.05, 0.10, 0.20] {
+        let profile = FaultProfile::none().with_drop(loss);
+        let (mut b, mut f, mut a) = (0.0, 0.0, 0.0);
+        let (mut drops, mut retx, mut gave_up, mut degraded) = (0u64, 0u64, 0u64, 0.0f64);
+        for s in seed..seed + R1_SEEDS {
+            let base = run_rubis_faulty(PolicyKind::None, scenario, s, profile, None);
+            let ff = run_rubis_faulty(PolicyKind::RequestType, scenario, s, profile, None);
+            let ack = run_rubis_faulty(
+                PolicyKind::RequestType,
+                scenario,
+                s,
+                profile,
+                Some(ReliableConfig::default()),
+            );
+            b += mean_response_ms(&base);
+            f += mean_response_ms(&ff);
+            a += mean_response_ms(&ack);
+            drops += ff.coord.channel_drops + ack.coord.channel_drops;
+            retx += ack.coord.retransmits;
+            gave_up += ack.coord.gave_up;
+            degraded += ack.coord.degraded_secs;
+        }
+        let n = R1_SEEDS as f64;
+        let (b, f, a) = (b / n, f / n, a / n);
+        let pct = |v: f64| {
+            if b > 0.0 {
+                format!("{:+.1}", (v / b - 1.0) * 100.0)
+            } else {
+                "0.0".into()
+            }
+        };
+        t.row_owned(vec![
+            format!("{:.0}", loss * 100.0),
+            fmt(b),
+            fmt(f),
+            fmt(a),
+            pct(f),
+            pct(a),
+            (drops / R1_SEEDS).to_string(),
+            (retx / R1_SEEDS).to_string(),
+            (gave_up / R1_SEEDS).to_string(),
+            fmt(degraded / n),
+        ]);
+    }
+    t
+}
+
+/// R2: ack/retry vs. fire-and-forget under combined loss, jitter, and
+/// duplication — the full fault profile rather than R1's pure loss — with
+/// the delivery-layer counters that explain the difference.
+pub fn reliability_r2(seed: u64) -> Table {
+    let scenario = RubisScenario::read_write_mix(24);
+    let faults = FaultProfile::none()
+        .with_drop(0.10)
+        .with_dup(0.05)
+        .with_jitter(Jitter::Exponential { mean: Nanos::from_micros(20) });
+    let mut t = Table::new(
+        "R2 — delivery strategy under loss + jitter + duplication (RUBiS)",
+        &[
+            "Variant",
+            "mean ms",
+            "msgs",
+            "drops",
+            "dups",
+            "retransmits",
+            "acked",
+            "gave up",
+            "dup suppressed",
+            "degraded s",
+        ],
+    );
+    let variants: [(&str, FaultProfile, Option<ReliableConfig>); 3] = [
+        ("f&f, clean channel", FaultProfile::none(), None),
+        ("f&f, faulty channel", faults, None),
+        ("ack/retry, faulty channel", faults, Some(ReliableConfig::default())),
+    ];
+    for (name, profile, reliable) in variants {
+        let r = run_rubis_faulty(PolicyKind::RequestType, scenario, seed, profile, reliable);
+        t.row_owned(vec![
+            name.to_owned(),
+            fmt(mean_response_ms(&r)),
+            r.coord.messages_sent.to_string(),
+            r.coord.channel_drops.to_string(),
+            r.coord.channel_dups.to_string(),
+            r.coord.retransmits.to_string(),
+            r.coord.acked.to_string(),
+            r.coord.gave_up.to_string(),
+            r.coord.dup_suppressed.to_string(),
+            fmt(r.coord.degraded_secs),
+        ]);
+    }
+    t
+}
+
+// ----------------------------------------------------------------------
 // Experiment registry
 // ----------------------------------------------------------------------
 
@@ -837,6 +1004,8 @@ pub fn experiment_ids() -> &'static [&'static str] {
         "a6_accounting_mode",
         "p1_power_capping",
         "s1_fabric_scalability",
+        "r1_loss_sweep",
+        "r2_reliability",
         "overhead",
     ]
 }
@@ -871,6 +1040,8 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<Vec<(String, Table)>> {
         "a6_accounting_mode" => one("a6_accounting_mode", ablation_a6(seed)),
         "p1_power_capping" => one("p1_power_capping", extension_p1(seed)),
         "s1_fabric_scalability" => one("s1_fabric_scalability", extension_s1(seed)),
+        "r1_loss_sweep" => one("r1_loss_sweep", reliability_r1(seed)),
+        "r2_reliability" => one("r2_reliability", reliability_r2(seed)),
         "overhead" => one("overhead", coordination_overhead(seed)),
         _ => None,
     }

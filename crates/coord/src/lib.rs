@@ -32,6 +32,11 @@
 //!   [`HysteresisPolicy`] extension that damps read↔write oscillation.
 //! * [`wire`] — the compact binary codec for the messages (they must fit a
 //!   PCI config-space mailbox).
+//! * [`ReliableSender`] / [`ReliableReceiver`] — optional ack-based
+//!   delivery over a lossy channel: sequence-numbered frames,
+//!   retransmission with exponential backoff, duplicate suppression, and
+//!   a degraded-mode signal for graceful policy fallback (see
+//!   `pcie::FaultProfile` for the faults they survive).
 //! * [`TokenBucket`] — rate limiting for coordination traffic.
 //! * [`hierarchy`] — the paper's future-work extension: a two-level
 //!   coordination fabric (zone controllers + root directory) for
@@ -63,6 +68,7 @@ mod island;
 mod limits;
 mod msg;
 mod policy;
+mod reliable;
 pub mod wire;
 
 pub use controller::{Action, Controller, ControllerStats};
@@ -75,3 +81,4 @@ pub use policy::{
     BufferTriggerPolicy, CoordinationPolicy, HysteresisPolicy, NullPolicy, Observation,
     PolicyKind, RequestTypePolicy, StreamQosPolicy,
 };
+pub use reliable::{ReliableConfig, ReliableReceiver, ReliableSender, SenderStats};

@@ -84,7 +84,10 @@ impl TokenBucket {
 /// for i in 0..6 {
 ///     d.observe(Nanos::from_millis(i * 50), i % 2 == 0);
 /// }
-/// assert!(d.is_oscillating());
+/// assert!(d.is_oscillating(Nanos::from_millis(250)));
+/// // Queries are time-aware: once the burst ages out of the window the
+/// // verdict decays even if no further requests are observed.
+/// assert!(!d.is_oscillating(Nanos::from_secs(10)));
 /// ```
 #[derive(Debug, Clone)]
 pub struct OscillationDetector {
@@ -126,13 +129,20 @@ impl OscillationDetector {
     }
 
     /// `true` while the flip rate exceeds the configured threshold.
-    pub fn is_oscillating(&self) -> bool {
-        self.flips.len() as u32 > self.threshold
+    ///
+    /// Time-aware: flips older than the window as of `now` do not count,
+    /// so the verdict decays during silence instead of sticking at the
+    /// last observed burst.
+    pub fn is_oscillating(&self, now: Nanos) -> bool {
+        self.flips_in_window(now) > self.threshold
     }
 
-    /// Flips currently inside the window.
-    pub fn flips_in_window(&self) -> u32 {
-        self.flips.len() as u32
+    /// Flips inside the window as of `now`.
+    pub fn flips_in_window(&self, now: Nanos) -> u32 {
+        // Count instead of evicting: queries take `&self`, and the stale
+        // entries are cheap to skip (they are bounded by one burst and are
+        // physically evicted on the next `observe`).
+        self.flips.iter().filter(|&&f| f + self.window >= now).count() as u32
     }
 }
 
@@ -147,14 +157,32 @@ mod tests {
         for i in 0..10u64 {
             d.observe(Nanos::from_millis(i * 100), i % 2 == 0);
         }
-        assert!(d.is_oscillating());
+        assert!(d.is_oscillating(Nanos::from_millis(900)));
         // A long steady run lets the window drain (the transition into
         // the steady phase is itself the final flip, then nothing).
         for i in 0..15u64 {
             d.observe(Nanos::from_secs(5) + Nanos::from_millis(i * 100), true);
         }
-        assert!(!d.is_oscillating());
-        assert_eq!(d.flips_in_window(), 0);
+        let end = Nanos::from_secs(5) + Nanos::from_millis(1400);
+        assert!(!d.is_oscillating(end));
+        assert_eq!(d.flips_in_window(end), 0);
+    }
+
+    #[test]
+    fn verdict_decays_during_silence() {
+        // The stream stops entirely after a burst of flips; queries must
+        // still decay rather than report the burst forever.
+        let mut d = OscillationDetector::new(Nanos::from_secs(1), 3);
+        for i in 0..10u64 {
+            d.observe(Nanos::from_millis(i * 100), i % 2 == 0);
+        }
+        let last = Nanos::from_millis(900);
+        assert!(d.is_oscillating(last));
+        assert!(d.is_oscillating(last + Nanos::from_millis(500)));
+        assert!(!d.is_oscillating(last + Nanos::from_secs(2)));
+        assert_eq!(d.flips_in_window(last + Nanos::from_secs(2)), 0);
+        // …and a fresh flip after the silence starts a clean count.
+        assert_eq!(d.observe(Nanos::from_secs(60), true), 1);
     }
 
     #[test]
@@ -163,7 +191,7 @@ mod tests {
         for i in 0..100u64 {
             assert_eq!(d.observe(Nanos::from_millis(i * 10), true), 0);
         }
-        assert!(!d.is_oscillating());
+        assert!(!d.is_oscillating(Nanos::from_millis(990)));
     }
 
     #[test]
@@ -171,7 +199,7 @@ mod tests {
         let mut d = OscillationDetector::new(Nanos::from_secs(10), 1);
         d.observe(Nanos::from_millis(0), false);
         assert_eq!(d.observe(Nanos::from_millis(1), true), 1);
-        assert!(!d.is_oscillating(), "one flip is within threshold");
+        assert!(!d.is_oscillating(Nanos::from_millis(1)), "one flip is within threshold");
     }
 
     #[test]

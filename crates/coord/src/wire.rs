@@ -38,6 +38,7 @@ const TAG_REG_ENTITY: u8 = 2;
 const TAG_TUNE: u8 = 3;
 const TAG_TRIGGER: u8 = 4;
 const TAG_ACK: u8 = 5;
+const TAG_FRAME: u8 = 6;
 
 /// Sentinel for an unaddressed (broadcast) target.
 const TARGET_NONE: u16 = u16::MAX;
@@ -105,6 +106,43 @@ pub fn encode(msg: &CoordMsg, buf: &mut Vec<u8>) -> usize {
         }
     }
     buf.len() - start
+}
+
+/// Appends a sequence-numbered frame around `msg` to `buf` and returns
+/// the encoded length.
+///
+/// The reliable-delivery layer wraps every data message this way: one
+/// frame tag byte, a `u32` little-endian sequence number, then the plain
+/// [`encode`] of the inner message. Acks stay unframed ([`CoordMsg::Ack`]
+/// already carries the sequence number it acknowledges).
+pub fn encode_framed(seq: u32, msg: &CoordMsg, buf: &mut Vec<u8>) -> usize {
+    let start = buf.len();
+    buf.push(TAG_FRAME);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    encode(msg, buf);
+    buf.len() - start
+}
+
+/// Decodes one sequence-numbered frame from the front of `buf`, returning
+/// the sequence number, the inner message, and the bytes consumed.
+///
+/// # Errors
+/// Returns [`CodecError::BadTag`] when the buffer does not start with a
+/// frame, and propagates inner decoding errors.
+pub fn decode_framed(buf: &[u8]) -> Result<(u32, CoordMsg, usize), CodecError> {
+    let tag = *buf.first().ok_or(CodecError::Truncated)?;
+    if tag != TAG_FRAME {
+        return Err(CodecError::BadTag(tag));
+    }
+    let b = buf.get(1..5).ok_or(CodecError::Truncated)?;
+    let seq = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+    let (msg, inner) = decode(&buf[5..])?;
+    Ok((seq, msg, 5 + inner))
+}
+
+/// `true` when the buffer starts with a sequence-numbered frame.
+pub fn is_framed(buf: &[u8]) -> bool {
+    buf.first() == Some(&TAG_FRAME)
 }
 
 /// Decodes one message from the front of `buf`, returning it and the
@@ -243,6 +281,28 @@ mod tests {
             decode(&[TAG_REG_ISLAND, 0, 0, 9]),
             Err(CodecError::BadKind(9))
         );
+    }
+
+    #[test]
+    fn framed_roundtrip_and_errors() {
+        let msg = CoordMsg::Tune { entity: EntityId(9), delta: -3, target: Some(IslandId(1)) };
+        let mut buf = Vec::new();
+        let n = encode_framed(0xABCD_1234, &msg, &mut buf);
+        assert_eq!(n, buf.len());
+        assert_eq!(n, 5 + 11, "frame header + inner Tune");
+        assert!(is_framed(&buf));
+        let (seq, decoded, consumed) = decode_framed(&buf).unwrap();
+        assert_eq!((seq, decoded, consumed), (0xABCD_1234, msg, n));
+
+        // An unframed message is rejected as a frame, and vice versa the
+        // plain decoder rejects the frame tag — the two namespaces stay
+        // disjoint on the wire.
+        let mut plain = Vec::new();
+        encode(&msg, &mut plain);
+        assert!(!is_framed(&plain));
+        assert_eq!(decode_framed(&plain), Err(CodecError::BadTag(TAG_TUNE)));
+        assert_eq!(decode(&buf), Err(CodecError::BadTag(TAG_FRAME)));
+        assert_eq!(decode_framed(&buf[..3]), Err(CodecError::Truncated));
     }
 
     #[test]

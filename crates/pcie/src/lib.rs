@@ -18,7 +18,10 @@
 //! * [`Mailbox`] — the latency-injected coordination message channel. Its
 //!   one-way latency is a first-class parameter because §3.3 singles out
 //!   PCIe channel latency as a cause of mis-applied coordination, to be
-//!   fixed by QPI/HTX-class integration.
+//!   fixed by QPI/HTX-class integration;
+//! * [`FaultProfile`] — seeded per-message drop/duplication/jitter/
+//!   reordering for a mailbox, so the reliability experiments (R1/R2) can
+//!   study *unreliable* — not merely slow — coordination, deterministically.
 //!
 //! ## Example
 //!
@@ -38,9 +41,11 @@
 #![forbid(unsafe_code)]
 
 mod dma;
+mod fault;
 mod link;
 mod mailbox;
 
 pub use dma::DmaModel;
+pub use fault::{FaultProfile, Jitter};
 pub use link::{HostLink, LinkConfig, LinkStats, NotifyMode, PcieEvent};
 pub use mailbox::Mailbox;

@@ -1,9 +1,9 @@
 //! Scenario configuration and the platform builder.
 
 use crate::world::Platform;
-use coord::PolicyKind;
+use coord::{PolicyKind, ReliableConfig};
 use ixp::IxpConfig;
-use pcie::{LinkConfig, NotifyMode};
+use pcie::{FaultProfile, LinkConfig, NotifyMode};
 use power::Strategy;
 use simcore::Nanos;
 use workloads::mplayer::{Source, StreamSpec};
@@ -229,6 +229,8 @@ pub struct PlatformBuilder {
     pub(crate) trigger_rate: Option<f64>,
     pub(crate) power_cap: Option<(f64, Strategy)>,
     pub(crate) precise_accounting: bool,
+    pub(crate) fault_profile: FaultProfile,
+    pub(crate) reliable: Option<ReliableConfig>,
 }
 
 impl Default for PlatformBuilder {
@@ -256,6 +258,8 @@ impl PlatformBuilder {
             trigger_rate: None,
             power_cap: None,
             precise_accounting: true,
+            fault_profile: FaultProfile::none(),
+            reliable: None,
         }
     }
 
@@ -346,6 +350,23 @@ impl PlatformBuilder {
     /// Overrides the client initial retransmission timeout.
     pub fn rto_initial(mut self, rto: Nanos) -> Self {
         self.costs.rto_initial = rto;
+        self
+    }
+
+    /// Injects channel faults into both coordination directions
+    /// (experiments R1/R2). The default, [`FaultProfile::none()`], leaves
+    /// the channel perfect and the run byte-identical to one built without
+    /// this call.
+    pub fn fault_profile(mut self, profile: FaultProfile) -> Self {
+        self.fault_profile = profile;
+        self
+    }
+
+    /// Enables ack-based reliable delivery for coordination messages:
+    /// sequence-numbered frames, retransmission with exponential backoff,
+    /// duplicate suppression, and degraded-mode send suppression.
+    pub fn reliable_delivery(mut self, cfg: ReliableConfig) -> Self {
+        self.reliable = Some(cfg);
         self
     }
 

@@ -53,7 +53,8 @@ pub use world::Platform;
 
 // Re-export the types callers need to configure scenarios without extra
 // imports.
-pub use coord::PolicyKind;
+pub use coord::{PolicyKind, ReliableConfig};
+pub use pcie::{FaultProfile, Jitter};
 pub use power::Strategy as PowerStrategy;
 pub use workloads::mplayer::{Source, StreamSpec};
 pub use workloads::rubis::Mix;

@@ -60,6 +60,25 @@ pub struct CoordReport {
     pub triggers_applied: u64,
     /// Messages the controller rejected.
     pub rejected: u64,
+    /// Message copies dropped in the channel by fault injection (both
+    /// directions, acks included).
+    pub channel_drops: u64,
+    /// Duplicate copies injected by the channel (both directions).
+    pub channel_dups: u64,
+    /// Retransmissions performed by the reliable-delivery layer.
+    pub retransmits: u64,
+    /// Messages acknowledged end-to-end.
+    pub acked: u64,
+    /// Messages the sender abandoned after exhausting its retry cap.
+    pub gave_up: u64,
+    /// Duplicate deliveries suppressed by the receiver.
+    pub dup_suppressed: u64,
+    /// Times the sender entered degraded mode.
+    pub degraded_entries: u64,
+    /// Total simulated seconds spent in degraded mode.
+    pub degraded_secs: f64,
+    /// Policy messages suppressed because the sender was degraded.
+    pub degraded_suppressed: u64,
 }
 
 /// Network-path loss/drop accounting.

@@ -8,7 +8,7 @@ use crate::report::{
 use coord::{
     Action, BufferTriggerPolicy, Controller, CoordMsg, CoordinationPolicy, EntityId,
     HysteresisPolicy, IslandId, IslandKind, NullPolicy, Observation, PolicyKind,
-    RequestTypePolicy, StreamQosPolicy,
+    ReliableReceiver, ReliableSender, RequestTypePolicy, StreamQosPolicy,
 };
 use ixp::{AppTag, FlowId, IxpConfig, IxpEvent, IxpIsland, Packet};
 use metrics::{platform_efficiency, ResponseStats, SessionStats};
@@ -133,6 +133,13 @@ pub struct Platform {
     pub(crate) ixp: IxpIsland,
     pub(crate) link: HostLink,
     pub(crate) mbx: Mailbox<Vec<u8>>,
+    /// Reverse channel (Dom0 → IXP) carrying reliable-delivery acks; it
+    /// shares the forward channel's latency and fault profile and stays
+    /// silent unless reliable delivery is enabled.
+    pub(crate) ack_mbx: Mailbox<Vec<u8>>,
+    pub(crate) rel_tx: Option<ReliableSender>,
+    pub(crate) rel_rx: Option<ReliableReceiver>,
+    pub(crate) degraded_suppressed: u64,
     pub(crate) controller: Controller,
     pub(crate) policy: Box<dyn CoordinationPolicy>,
     pub(crate) q: EventQueue<Ev>,
@@ -181,6 +188,8 @@ pub struct Platform {
     pub(crate) scratch_ixp: Vec<IxpEvent>,
     pub(crate) scratch_link: Vec<PcieEvent>,
     pub(crate) scratch_mbx: Vec<Vec<u8>>,
+    pub(crate) scratch_ack: Vec<Vec<u8>>,
+    pub(crate) scratch_retx: Vec<(u32, CoordMsg)>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -212,13 +221,26 @@ impl Platform {
             Nanos::ZERO,
             CoordMsg::RegisterIsland { island: IXP, kind: IslandKind::NetworkProcessor },
         );
+        let mut mbx = Mailbox::new(b.coord_latency);
+        let mut ack_mbx = Mailbox::new(b.coord_latency);
+        if !b.fault_profile.is_none() {
+            // Fault RNG streams are derived straight from the seed — never
+            // forked from the platform RNG, which would shift every draw
+            // the workload makes and break fault-free byte-identity.
+            mbx.set_faults(b.fault_profile, SimRng::new(b.seed ^ 0xFA17_0001));
+            ack_mbx.set_faults(b.fault_profile, SimRng::new(b.seed ^ 0xFA17_0002));
+        }
         Platform {
             now: Nanos::ZERO,
             rng: SimRng::new(b.seed),
             sched,
             ixp: IxpIsland::new(ixp_cfg),
             link: HostLink::new(b.link_config()),
-            mbx: Mailbox::new(b.coord_latency),
+            mbx,
+            ack_mbx,
+            rel_tx: b.reliable.map(ReliableSender::new),
+            rel_rx: b.reliable.map(|_| ReliableReceiver::new()),
+            degraded_suppressed: 0,
             controller,
             policy: Box::new(NullPolicy),
             q: EventQueue::new(),
@@ -260,6 +282,8 @@ impl Platform {
             scratch_ixp: Vec::new(),
             scratch_link: Vec::new(),
             scratch_mbx: Vec::new(),
+            scratch_ack: Vec::new(),
+            scratch_retx: Vec::new(),
         }
     }
 
@@ -496,6 +520,8 @@ impl Platform {
                 Ixp,
                 Link,
                 Mbx,
+                Ack,
+                Retx,
                 None,
             }
             let mut t = Nanos::MAX;
@@ -528,6 +554,18 @@ impl Platform {
                 if x < t {
                     t = x;
                     src = Src::Mbx;
+                }
+            }
+            if let Some(x) = self.ack_mbx.next_event_time() {
+                if x < t {
+                    t = x;
+                    src = Src::Ack;
+                }
+            }
+            if let Some(x) = self.rel_tx.as_ref().and_then(|tx| tx.next_timer()) {
+                if x < t {
+                    t = x;
+                    src = Src::Retx;
                 }
             }
             if src == Src::None || t > t_end {
@@ -566,6 +604,15 @@ impl Platform {
                     }
                     self.scratch_mbx = msgs;
                 }
+                Src::Ack => {
+                    let mut msgs = std::mem::take(&mut self.scratch_ack);
+                    self.ack_mbx.on_timer(t, &mut msgs);
+                    for m in msgs.drain(..) {
+                        self.handle_ack_delivery(m);
+                    }
+                    self.scratch_ack = msgs;
+                }
+                Src::Retx => self.pump_retransmits(),
                 Src::None => unreachable!(),
             }
         }
@@ -757,16 +804,78 @@ impl Platform {
         let now = self.now;
         for m in msgs {
             let mut buf = Vec::new();
-            let n = coord::wire::encode(&m, &mut buf);
+            let n = match self.rel_tx.as_mut() {
+                Some(tx) => {
+                    if tx.is_degraded() && tx.pending_len() > 0 {
+                        // Degraded fallback: don't pile new tunes onto a
+                        // channel that is demonstrably not delivering. The
+                        // still-pending retransmissions double as probes;
+                        // their ack ends degraded mode.
+                        self.degraded_suppressed += 1;
+                        self.trace.record(now, format!("coord: degraded, suppressed {m:?}"));
+                        continue;
+                    }
+                    let seq = tx.send(now, m);
+                    coord::wire::encode_framed(seq, &m, &mut buf)
+                }
+                None => coord::wire::encode(&m, &mut buf),
+            };
             self.coord.messages_sent += 1;
             self.coord.bytes_sent += n as u64;
             self.mbx.send(now, buf);
         }
     }
 
+    /// Fires due retransmission deadlines: re-sends under-cap messages and
+    /// traces give-ups and degraded-mode entry.
+    fn pump_retransmits(&mut self) {
+        let now = self.now;
+        let Some(tx) = self.rel_tx.as_mut() else { return };
+        let was_degraded = tx.is_degraded();
+        let gave_up_before = tx.stats().gave_up;
+        let mut retx = std::mem::take(&mut self.scratch_retx);
+        tx.on_timer(now, &mut retx);
+        let entered_degraded = !was_degraded && tx.is_degraded();
+        let gave_up = tx.stats().gave_up - gave_up_before;
+        for (seq, msg) in retx.drain(..) {
+            let mut buf = Vec::new();
+            let n = coord::wire::encode_framed(seq, &msg, &mut buf);
+            self.coord.bytes_sent += n as u64;
+            self.trace.record(now, format!("coord: retransmit seq {seq}"));
+            self.mbx.send(now, buf);
+        }
+        self.scratch_retx = retx;
+        if gave_up > 0 {
+            self.trace.record(now, format!("coord: gave up on {gave_up} message(s)"));
+        }
+        if entered_degraded {
+            self.trace.record(now, "coord: entering degraded mode".to_owned());
+        }
+    }
+
     fn handle_coord_delivery(&mut self, bytes: Vec<u8>) {
-        let Ok((msg, _)) = coord::wire::decode(&bytes) else {
-            return;
+        let msg = if coord::wire::is_framed(&bytes) {
+            let Ok((seq, msg, _)) = coord::wire::decode_framed(&bytes) else {
+                return;
+            };
+            // Ack every copy — the sender may be retransmitting because a
+            // previous ack was lost — but process each sequence once.
+            let now = self.now;
+            let mut ack = Vec::new();
+            coord::wire::encode(&CoordMsg::Ack { seq }, &mut ack);
+            self.ack_mbx.send(now, ack);
+            if let Some(rx) = self.rel_rx.as_mut() {
+                if !rx.accept(seq) {
+                    self.trace.record(now, format!("coord: suppressed duplicate seq {seq}"));
+                    return;
+                }
+            }
+            msg
+        } else {
+            let Ok((msg, _)) = coord::wire::decode(&bytes) else {
+                return;
+            };
+            msg
         };
         if msg.is_urgent() {
             // Triggers are interrupt-like: applied in interrupt context,
@@ -775,6 +884,19 @@ impl Platform {
         } else {
             self.coord_pending.push_back(msg);
             self.pump_coord_applies();
+        }
+    }
+
+    fn handle_ack_delivery(&mut self, bytes: Vec<u8>) {
+        let Ok((CoordMsg::Ack { seq }, _)) = coord::wire::decode(&bytes) else {
+            return;
+        };
+        let now = self.now;
+        let Some(tx) = self.rel_tx.as_mut() else { return };
+        let was_degraded = tx.is_degraded();
+        tx.on_ack(now, seq);
+        if was_degraded {
+            self.trace.record(now, format!("coord: ack seq {seq}, degraded mode over"));
         }
     }
 
@@ -1034,12 +1156,29 @@ impl Platform {
             cpu,
             total_cpu_percent: total,
             efficiency,
-            coord: CoordReport {
-                messages_sent: self.coord.messages_sent,
-                bytes_sent: self.coord.bytes_sent,
-                tunes_applied: self.coord.tunes_applied,
-                triggers_applied: self.coord.triggers_applied,
-                rejected: self.controller.stats().rejected,
+            coord: {
+                let tx = self.rel_tx.as_ref();
+                let stats = tx.map(|t| t.stats()).unwrap_or_default();
+                CoordReport {
+                    messages_sent: self.coord.messages_sent,
+                    bytes_sent: self.coord.bytes_sent,
+                    tunes_applied: self.coord.tunes_applied,
+                    triggers_applied: self.coord.triggers_applied,
+                    rejected: self.controller.stats().rejected,
+                    channel_drops: self.mbx.dropped() + self.ack_mbx.dropped(),
+                    channel_dups: self.mbx.duplicated() + self.ack_mbx.duplicated(),
+                    retransmits: stats.retransmits,
+                    acked: stats.acked,
+                    gave_up: stats.gave_up,
+                    dup_suppressed: self
+                        .rel_rx
+                        .as_ref()
+                        .map_or(0, |rx| rx.dup_suppressed()),
+                    degraded_entries: stats.degraded_entries,
+                    degraded_secs: tx
+                        .map_or(0.0, |t| t.degraded_time(self.now).as_secs_f64()),
+                    degraded_suppressed: self.degraded_suppressed,
+                }
             },
             net: NetReport {
                 ixp_drops: flow_drops,

@@ -30,12 +30,20 @@ pub struct TraceBuffer {
     recorded: u64,
 }
 
+/// Upper bound on *up-front* allocation in [`TraceBuffer::new`]. The
+/// eviction bound is always the full `capacity`; buffers larger than this
+/// start small and grow on demand, so a huge capacity costs nothing until
+/// it is actually used.
+const PREALLOC_LIMIT: usize = 4096;
+
 impl TraceBuffer {
     /// Creates a buffer holding at most `capacity` records (0 disables
-    /// recording entirely).
+    /// recording entirely). Pre-allocation is capped at
+    /// [`PREALLOC_LIMIT`](self) records; capacities beyond that grow
+    /// lazily but still retain up to `capacity` records.
     pub fn new(capacity: usize) -> Self {
         TraceBuffer {
-            records: VecDeque::with_capacity(capacity.min(4096)),
+            records: VecDeque::with_capacity(capacity.min(PREALLOC_LIMIT)),
             capacity,
             recorded: 0,
         }
@@ -121,6 +129,20 @@ mod tests {
         assert_eq!(dump.lines().count(), 2);
         assert!(dump.contains("alpha"));
         assert!(dump.contains("1.000ms"));
+    }
+
+    #[test]
+    fn capacity_beyond_prealloc_limit_still_retains_everything() {
+        let cap = PREALLOC_LIMIT + 100;
+        let mut t = TraceBuffer::new(cap);
+        for i in 0..(cap as u64 + 50) {
+            t.record(Nanos(i), "e");
+        }
+        // The true retention bound is `capacity`, not the pre-allocation
+        // limit: the buffer grew past PREALLOC_LIMIT and evicted only the
+        // overflow beyond `cap`.
+        assert_eq!(t.len(), cap);
+        assert_eq!(t.iter().next().unwrap().0, Nanos(50));
     }
 
     #[test]

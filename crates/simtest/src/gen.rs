@@ -334,6 +334,7 @@ pub fn vec_of<T: Clone + 'static>(elem: Gen<T>, min_len: usize, max_len: usize) 
 pub mod domain {
     use super::{vec_of, zip2, Gen};
     use coord::{CoordMsg, EntityId, IslandId, IslandKind};
+    use pcie::{FaultProfile, Jitter};
     use simcore::Nanos;
 
     /// Durations up to ~1 s, shrinking toward zero.
@@ -468,6 +469,53 @@ pub mod domain {
     /// round-trip property).
     pub fn coord_msgs() -> Gen<Vec<CoordMsg>> {
         vec_of(coord_msg(), 1, 49)
+    }
+
+    /// Channel fault profiles for the reliability properties: loss up to
+    /// 50%, duplication up to 30%, jitter up to ~200 µs, and an optional
+    /// reorder window up to 1 ms. Shrinks by zeroing one fault dimension
+    /// at a time, toward [`FaultProfile::none()`].
+    pub fn fault_profile() -> Gen<FaultProfile> {
+        let jitter = Gen::one_of(vec![
+            Gen::new(|_| Jitter::None),
+            Gen::nanos_in(Nanos(1), Nanos::from_micros(200)).map(|max| Jitter::Uniform { max }),
+            Gen::nanos_in(Nanos(1), Nanos::from_micros(50))
+                .map(|mean| Jitter::Exponential { mean }),
+        ]);
+        let reorder = Gen::one_of(vec![
+            Gen::new(|_| Nanos::ZERO),
+            Gen::nanos_in(Nanos(1), Nanos::from_millis(1)),
+        ]);
+        zip2(
+            zip2(Gen::f64_in(0.0, 0.5), Gen::f64_in(0.0, 0.3)),
+            zip2(jitter, reorder),
+        )
+        .map(|((drop, dup), (jitter, reorder))| {
+            FaultProfile::none()
+                .with_drop(drop)
+                .with_dup(dup)
+                .with_jitter(jitter)
+                .with_reorder(reorder)
+        })
+        .with_shrink(|p| {
+            let mut out = Vec::new();
+            if !p.is_none() {
+                out.push(FaultProfile::none());
+            }
+            if p.drop_prob > 0.0 {
+                out.push(FaultProfile { drop_prob: 0.0, ..*p });
+            }
+            if p.dup_prob > 0.0 {
+                out.push(FaultProfile { dup_prob: 0.0, ..*p });
+            }
+            if p.jitter != Jitter::None {
+                out.push(FaultProfile { jitter: Jitter::None, ..*p });
+            }
+            if p.reorder_window > Nanos::ZERO {
+                out.push(FaultProfile { reorder_window: Nanos::ZERO, ..*p });
+            }
+            out
+        })
     }
 }
 

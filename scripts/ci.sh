@@ -50,4 +50,39 @@ if os.path.isfile(base) and os.path.getsize(base) > 0:
 EOF
 rm -f "$baseline"
 
+echo "==> fault-injection smoke checks (r1/r2 reliability tables)"
+python3 - <<'EOF'
+import csv, json, sys
+
+tables = json.load(open("results/BENCH_experiments.json"))["tables"]
+for slug in ("r1_loss_sweep", "r2_reliability"):
+    if slug not in tables:
+        sys.exit(f"{slug} missing from BENCH_experiments.json tables")
+
+rows = list(csv.DictReader(open("results/r1_loss_sweep.csv")))
+if [r["loss %"] for r in rows] != ["0", "5", "10", "20"]:
+    sys.exit("r1_loss_sweep.csv: unexpected loss sweep rows")
+clean = rows[0]
+if int(clean["drops"]) != 0 or int(clean["retransmits"]) != 0:
+    sys.exit("r1_loss_sweep.csv: loss=0 row reports drops or retransmits")
+if len({r["Base"] for r in rows}) != 1:
+    sys.exit("r1_loss_sweep.csv: uncoordinated Base column is not loss-invariant")
+if not any(int(r["drops"]) > 0 for r in rows[1:]):
+    sys.exit("r1_loss_sweep.csv: no drops recorded under nonzero loss")
+if not any(int(r["retransmits"]) > 0 for r in rows[1:]):
+    sys.exit("r1_loss_sweep.csv: no retransmissions recorded under nonzero loss")
+
+rows = list(csv.DictReader(open("results/r2_reliability.csv")))
+byv = {r["Variant"]: r for r in rows}
+faulty_ff = byv.get("f&f, faulty channel")
+faulty_ack = byv.get("ack/retry, faulty channel")
+if faulty_ff is None or faulty_ack is None:
+    sys.exit("r2_reliability.csv: expected variants missing")
+if int(faulty_ff["drops"]) == 0:
+    sys.exit("r2_reliability.csv: faulty channel recorded no drops")
+if int(faulty_ack["retransmits"]) == 0 or int(faulty_ack["acked"]) == 0:
+    sys.exit("r2_reliability.csv: reliable variant never retransmitted/acked")
+print("    ok: r1_loss_sweep.csv and r2_reliability.csv shapes verified")
+EOF
+
 echo "CI pass complete."
