@@ -44,6 +44,9 @@ fn selection(which: &str) -> Option<Vec<&'static str>> {
                 .collect(),
         ),
         "extensions" => Some(vec!["p1_power_capping", "s1_fabric_scalability"]),
+        "inference" => Some(vec!["i1_inference_batching", "i2_batch_preemption"]),
+        "i1" => Some(vec!["i1_inference_batching"]),
+        "i2" => Some(vec!["i2_batch_preemption"]),
         id if ids.contains(&id) => Some(vec![ids[ids.iter().position(|x| *x == id).unwrap()]]),
         _ => None,
     }

@@ -20,8 +20,8 @@ use coord::PolicyKind;
 use metrics::Table;
 use pcie::NotifyMode;
 use platform::{
-    FaultProfile, Jitter, MplayerScenario, Platform, PlatformBuilder, ReliableConfig,
-    RubisScenario, RunReport,
+    FaultProfile, InferenceScenario, Jitter, MplayerScenario, Platform, PlatformBuilder,
+    ReliableConfig, RubisScenario, RunReport,
 };
 use simcore::Nanos;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,6 +34,9 @@ pub const RUBIS_SECS: u64 = 300;
 
 /// Simulated duration of the Figure 7 trigger run.
 pub const TRIGGER_SECS: u64 = 180;
+
+/// Simulated duration of the inference (accelerator island) runs.
+pub const INFER_SECS: u64 = 120;
 
 // ----------------------------------------------------------------------
 // Run plumbing: smoke cap and simulator-rate accounting
@@ -979,6 +982,118 @@ pub fn reliability_r2(seed: u64) -> Table {
 }
 
 // ----------------------------------------------------------------------
+// Inference — the third scheduling island
+// ----------------------------------------------------------------------
+
+fn run_inference(policy: PolicyKind, scenario: InferenceScenario, seed: u64) -> RunReport {
+    let mut sim = PlatformBuilder::new()
+        .seed(seed)
+        .policy(policy)
+        .build_inference(scenario);
+    timed_run(&mut sim, sim_secs(INFER_SECS))
+}
+
+/// I1: coordinated vs uncoordinated batch tuning under a mixed-SLA tenant
+/// population. The InferenceBatch policy leans interactive tenants toward
+/// small batches and larger queue weights (and batch tenants the other
+/// way); the claim is the Figure 4 shape transplanted to the third
+/// island — latency-tenant p99 drops without giving up batch goodput.
+pub fn inference_i1(seed: u64) -> Table {
+    let scenario = InferenceScenario::mixed_tenants();
+    let base = run_inference(PolicyKind::None, scenario.clone(), seed);
+    let coord = run_inference(PolicyKind::InferenceBatch, scenario, seed);
+    let mut t = Table::new(
+        "I1 — coordinated batch tuning on the accelerator island",
+        &[
+            "tenant",
+            "class",
+            "Base p99 ms",
+            "Coord p99 ms",
+            "p99 change %",
+            "Base goodput/s",
+            "Coord goodput/s",
+            "Base mean batch",
+            "Coord mean batch",
+        ],
+    );
+    let secs = |r: &RunReport| r.duration.as_secs_f64().max(1e-9);
+    for tb in &base.accel.tenants {
+        let Some(tc) = coord.accel.tenant(&tb.name) else { continue };
+        let p99b = base.rubis.responses.percentile(&tb.name, 0.99);
+        let p99c = coord.rubis.responses.percentile(&tb.name, 0.99);
+        let pct = if p99b > 0.0 { (p99c / p99b - 1.0) * 100.0 } else { 0.0 };
+        t.row_owned(vec![
+            tb.name.clone(),
+            if tb.latency_sensitive { "latency".into() } else { "throughput".into() },
+            format!("{p99b:.1}"),
+            format!("{p99c:.1}"),
+            format!("{pct:+.1}"),
+            format!("{:.1}", tb.completed as f64 / secs(&base)),
+            format!("{:.1}", tc.completed as f64 / secs(&coord)),
+            format!("{:.2}", tb.mean_batch),
+            format!("{:.2}", tc.mean_batch),
+        ]);
+    }
+    t
+}
+
+/// I2: trigger-based batch preemption (the Figure 7 / Table 3 analogue on
+/// the accelerator). A device-queue occupancy alarm on the interactive
+/// tenant raises a Trigger that preempts the forming batch; the gain is
+/// the alarmed tenant's tail, the cost is the colocated batch tenants'
+/// batch efficiency.
+pub fn inference_i2(seed: u64) -> Table {
+    let scenario = InferenceScenario::trigger_setup();
+    let base = run_inference(PolicyKind::None, scenario.clone(), seed);
+    let coord = run_inference(PolicyKind::BufferTrigger, scenario, seed);
+    let mut t = Table::new(
+        "I2 — trigger-based batch preemption vs colocated cost",
+        &["Metric", "no-coord", "coord-trigger", "% change"],
+    );
+    let pct = |b: f64, c: f64| {
+        if b.abs() > 1e-12 { format!("{:+.2}", (c / b - 1.0) * 100.0) } else { "0.00".into() }
+    };
+    for tb in &base.accel.tenants {
+        let Some(tc) = coord.accel.tenant(&tb.name) else { continue };
+        let (qb, qc) = (tb.queue_p99_ms, tc.queue_p99_ms);
+        t.row_owned(vec![
+            format!("{} queue p99 ms", tb.name),
+            format!("{qb:.2}"),
+            format!("{qc:.2}"),
+            pct(qb, qc),
+        ]);
+        let (bb, bc) = (tb.mean_batch, tc.mean_batch);
+        t.row_owned(vec![
+            format!("{} mean batch", tb.name),
+            format!("{bb:.2}"),
+            format!("{bc:.2}"),
+            pct(bb, bc),
+        ]);
+    }
+    let preempt = |r: &RunReport| r.accel.tenants.iter().map(|t| t.preemptions).sum::<u64>();
+    let alarms = |r: &RunReport| r.accel.tenants.iter().map(|t| t.alarms).sum::<u64>();
+    t.row_owned(vec![
+        "Queue alarms".into(),
+        alarms(&base).to_string(),
+        alarms(&coord).to_string(),
+        String::new(),
+    ]);
+    t.row_owned(vec![
+        "Triggers applied".into(),
+        base.coord.triggers_applied.to_string(),
+        coord.coord.triggers_applied.to_string(),
+        String::new(),
+    ]);
+    t.row_owned(vec![
+        "Batches preempted".into(),
+        preempt(&base).to_string(),
+        preempt(&coord).to_string(),
+        String::new(),
+    ]);
+    t
+}
+
+// ----------------------------------------------------------------------
 // Experiment registry
 // ----------------------------------------------------------------------
 
@@ -1006,6 +1121,8 @@ pub fn experiment_ids() -> &'static [&'static str] {
         "s1_fabric_scalability",
         "r1_loss_sweep",
         "r2_reliability",
+        "i1_inference_batching",
+        "i2_batch_preemption",
         "overhead",
     ]
 }
@@ -1042,6 +1159,8 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<Vec<(String, Table)>> {
         "s1_fabric_scalability" => one("s1_fabric_scalability", extension_s1(seed)),
         "r1_loss_sweep" => one("r1_loss_sweep", reliability_r1(seed)),
         "r2_reliability" => one("r2_reliability", reliability_r2(seed)),
+        "i1_inference_batching" => one("i1_inference_batching", inference_i1(seed)),
+        "i2_batch_preemption" => one("i2_batch_preemption", inference_i2(seed)),
         "overhead" => one("overhead", coordination_overhead(seed)),
         _ => None,
     }

@@ -55,6 +55,60 @@ impl RubisOut {
     }
 }
 
+/// One inference tenant's accelerator summary as the calibration tools
+/// compare it: client-observed p99 plus the device-side batching view.
+#[derive(Debug, Clone, Default)]
+pub struct AccelTenantOut {
+    /// Tenant name.
+    pub name: String,
+    /// `true` when the tenant carries an interactive latency SLA.
+    pub latency_sensitive: bool,
+    /// Client-observed p99 response time (ms).
+    pub p99_ms: f64,
+    /// Completed requests per second.
+    pub goodput: f64,
+    /// Mean items per launched batch.
+    pub mean_batch: f64,
+    /// p99 batch-forming queue delay (ms).
+    pub queue_p99_ms: f64,
+    /// Batches launched early by a Trigger.
+    pub preemptions: u64,
+}
+
+/// Per-tenant accelerator summaries of a run (empty for two-island runs).
+pub fn accel_tenants(r: &RunReport) -> Vec<AccelTenantOut> {
+    let secs = r.duration.as_secs_f64().max(1e-9);
+    r.accel
+        .tenants
+        .iter()
+        .map(|t| AccelTenantOut {
+            name: t.name.clone(),
+            latency_sensitive: t.latency_sensitive,
+            p99_ms: r.rubis.responses.percentile(&t.name, 0.99),
+            goodput: t.completed as f64 / secs,
+            mean_batch: t.mean_batch,
+            queue_p99_ms: t.queue_p99_ms,
+            preemptions: t.preemptions,
+        })
+        .collect()
+}
+
+/// Prints the per-tenant accelerator lines (no-op for two-island runs).
+pub fn print_accel(r: &RunReport) {
+    for t in accel_tenants(r) {
+        println!(
+            "  {:8} [{}] p99={:7.1}ms goodput={:6.1}/s batch={:5.2} q_p99={:6.2}ms preempt={}",
+            t.name,
+            if t.latency_sensitive { "lat" } else { "thr" },
+            t.p99_ms,
+            t.goodput,
+            t.mean_batch,
+            t.queue_p99_ms,
+            t.preemptions,
+        );
+    }
+}
+
 /// Prints the per-domain CPU table: full user/system/steal split when
 /// `detail` is set, the compact percent+steal form otherwise.
 pub fn print_cpu(r: &RunReport, detail: bool) {

@@ -262,6 +262,78 @@ mod tests {
         assert_eq!(total_local, 90);
     }
 
+    /// Issue-4 coverage: a fabric mixing the three *real* island kinds the
+    /// platform now ships (x86 credit scheduler, IXP network processor,
+    /// batching accelerator), not a homogeneous synthetic one.
+    fn mixed_kind_fabric() -> HierarchicalController {
+        let mut h = HierarchicalController::new(2);
+        for z in 0..2u16 {
+            let base = z * 10;
+            h.register_island(ZoneId(z), IslandId(base), IslandKind::GeneralPurpose);
+            h.register_island(ZoneId(z), IslandId(base + 1), IslandKind::NetworkProcessor);
+            h.register_island(ZoneId(z), IslandId(base + 2), IslandKind::Accelerator);
+            // Entity z00+e: a VM bound on the zone's x86 island; tenants
+            // z00+100+e are bound on the zone's accelerator.
+            for e in 0..4u32 {
+                let vm = EntityId(z as u32 * 100 + e);
+                h.register_entity(ZoneId(z), vm, IslandId(base), e as u64);
+                let tenant = EntityId(z as u32 * 100 + 50 + e);
+                h.register_entity(ZoneId(z), tenant, IslandId(base + 2), e as u64);
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn zone_local_accel_to_xsched_tune_needs_no_root() {
+        let mut h = mixed_kind_fabric();
+        // The accelerator island in zone 0 observes congestion and tunes a
+        // VM living on zone 0's x86 island: resolved zone-locally.
+        let (actions, res) = h.handle(
+            Nanos::ZERO,
+            ZoneId(0),
+            CoordMsg::Tune { entity: EntityId(2), delta: -32, target: None },
+        );
+        assert_eq!(res, Resolution::Local);
+        assert_eq!(h.root_lookups(), 0, "no root directory involvement");
+        assert_eq!(
+            actions,
+            vec![Action::ApplyTune { island: IslandId(0), local_key: 2, delta: -32 }]
+        );
+        // And the reverse direction: tuning a zone-local accel tenant.
+        let (actions, res) = h.handle(
+            Nanos::ZERO,
+            ZoneId(0),
+            CoordMsg::Tune { entity: EntityId(51), delta: 6, target: None },
+        );
+        assert_eq!(res, Resolution::Local);
+        assert_eq!(h.root_lookups(), 0);
+        assert_eq!(
+            actions,
+            vec![Action::ApplyTune { island: IslandId(2), local_key: 1, delta: 6 }]
+        );
+        assert_eq!(h.load(ZoneId(0)).local, 2);
+    }
+
+    #[test]
+    fn cross_zone_accel_trigger_still_forwards() {
+        let mut h = mixed_kind_fabric();
+        // Zone 0 triggers a tenant hosted on zone 1's accelerator.
+        let (actions, res) = h.handle(
+            Nanos::ZERO,
+            ZoneId(0),
+            CoordMsg::Trigger { entity: EntityId(153), target: None },
+        );
+        assert_eq!(res, Resolution::Forwarded { to: ZoneId(1) });
+        assert_eq!(h.root_lookups(), 1);
+        assert_eq!(
+            actions,
+            vec![Action::ApplyTrigger { island: IslandId(12), local_key: 3 }]
+        );
+        assert_eq!(h.load(ZoneId(0)).forwarded_out, 1);
+        assert_eq!(h.load(ZoneId(1)).remote_in, 1);
+    }
+
     #[test]
     fn acks_are_noops() {
         let mut h = fabric();

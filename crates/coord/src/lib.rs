@@ -78,7 +78,7 @@ pub use island::{IslandId, IslandKind, ResourceManager};
 pub use limits::{OscillationDetector, TokenBucket};
 pub use msg::CoordMsg;
 pub use policy::{
-    BufferTriggerPolicy, CoordinationPolicy, HysteresisPolicy, NullPolicy, Observation,
-    PolicyKind, RequestTypePolicy, StreamQosPolicy,
+    BufferTriggerPolicy, CoordinationPolicy, HysteresisPolicy, InferenceBatchPolicy, NullPolicy,
+    Observation, PolicyKind, RequestTypePolicy, StreamQosPolicy,
 };
 pub use reliable::{ReliableConfig, ReliableReceiver, ReliableSender, SenderStats};

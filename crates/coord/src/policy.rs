@@ -38,6 +38,14 @@ pub enum Observation {
         /// `true` when the monitor's threshold alarm fired.
         crossed: bool,
     },
+    /// The DPI engine classified an inference request bound for the
+    /// accelerator island.
+    InferenceArrival {
+        /// Entity (tenant) the request belongs to.
+        entity: EntityId,
+        /// `true` for interactive (latency-SLA) traffic.
+        latency_sensitive: bool,
+    },
 }
 
 /// A coordination policy: observations in, coordination messages out.
@@ -63,6 +71,9 @@ pub enum PolicyKind {
     StreamQos,
     /// Buffer-threshold triggers (§3.2 scheme 2).
     BufferTrigger,
+    /// Accelerator batch tuning from DPI-classified SLA classes
+    /// (experiment I1).
+    InferenceBatch,
 }
 
 /// The no-coordination baseline.
@@ -319,6 +330,76 @@ impl CoordinationPolicy for BufferTriggerPolicy {
     }
     fn name(&self) -> &'static str {
         "buffer-trigger"
+    }
+}
+
+/// Accelerator batch-shape coordination (experiment I1).
+///
+/// The IXP's DPI engine recovers each inference request's SLA class from
+/// the RPC header; this policy turns the *first* classification of each
+/// tenant into one batch-shape Tune for the accelerator island:
+/// interactive tenants get a negative delta (smaller batch budget, higher
+/// queue weight — a latency lean), batch tenants get a positive delta
+/// (bigger batches that amortize launch overhead). One message per tenant
+/// per regime, matching the paper's regime-change discipline: steady
+/// classes cost no channel traffic.
+#[derive(Debug, Clone)]
+pub struct InferenceBatchPolicy {
+    target: IslandId,
+    latency_lean: i32,
+    throughput_lean: i32,
+    /// Tenants whose SLA regime has been communicated: (entity, class).
+    communicated: Vec<(EntityId, bool)>,
+}
+
+impl InferenceBatchPolicy {
+    /// Creates the policy for the accelerator island `target` with a
+    /// ±6 batch-shape lean.
+    pub fn new(target: IslandId) -> Self {
+        InferenceBatchPolicy {
+            target,
+            latency_lean: -6,
+            throughput_lean: 6,
+            communicated: Vec::new(),
+        }
+    }
+
+    /// Overrides the leans applied to latency/throughput tenants.
+    pub fn with_leans(mut self, latency: i32, throughput: i32) -> Self {
+        self.latency_lean = latency;
+        self.throughput_lean = throughput;
+        self
+    }
+
+    /// Tenants whose regime has been communicated (diagnostics).
+    pub fn communicated(&self) -> usize {
+        self.communicated.len()
+    }
+}
+
+impl CoordinationPolicy for InferenceBatchPolicy {
+    fn observe(&mut self, _now: Nanos, obs: &Observation) -> Vec<CoordMsg> {
+        let Observation::InferenceArrival { entity, latency_sensitive } = obs else {
+            return Vec::new();
+        };
+        match self.communicated.iter_mut().find(|(e, _)| e == entity) {
+            Some((_, class)) if *class == *latency_sensitive => return Vec::new(),
+            Some((_, class)) => *class = *latency_sensitive,
+            None => self.communicated.push((*entity, *latency_sensitive)),
+        }
+        let delta = if *latency_sensitive {
+            self.latency_lean
+        } else {
+            self.throughput_lean
+        };
+        vec![CoordMsg::Tune {
+            entity: *entity,
+            delta,
+            target: Some(self.target),
+        }]
+    }
+    fn name(&self) -> &'static str {
+        "inference-batch"
     }
 }
 
@@ -620,11 +701,48 @@ mod tests {
     }
 
     #[test]
+    fn inference_batch_leans_once_per_tenant() {
+        let accel = IslandId(2);
+        let mut p = InferenceBatchPolicy::new(accel);
+        let chat = Observation::InferenceArrival { entity: WEB, latency_sensitive: true };
+        let rank = Observation::InferenceArrival { entity: APP, latency_sensitive: false };
+        assert_eq!(
+            p.observe(Nanos::ZERO, &chat),
+            vec![CoordMsg::Tune { entity: WEB, delta: -6, target: Some(accel) }]
+        );
+        assert_eq!(
+            p.observe(Nanos::ZERO, &rank),
+            vec![CoordMsg::Tune { entity: APP, delta: 6, target: Some(accel) }]
+        );
+        // Steady classes cost no further channel traffic.
+        for _ in 0..100 {
+            assert!(p.observe(Nanos::ZERO, &chat).is_empty());
+            assert!(p.observe(Nanos::ZERO, &rank).is_empty());
+        }
+        assert_eq!(p.communicated(), 2);
+        // A tenant changing SLA class re-tunes.
+        let flipped = Observation::InferenceArrival { entity: WEB, latency_sensitive: false };
+        assert_eq!(p.observe(Nanos::ZERO, &flipped).len(), 1);
+        assert!(p.observe(Nanos::ZERO, &read_req()).is_empty());
+    }
+
+    #[test]
+    fn inference_batch_custom_leans() {
+        let mut p = InferenceBatchPolicy::new(X86).with_leans(-2, 9);
+        let obs = Observation::InferenceArrival { entity: DB, latency_sensitive: false };
+        assert_eq!(
+            p.observe(Nanos::ZERO, &obs),
+            vec![CoordMsg::Tune { entity: DB, delta: 9, target: Some(X86) }]
+        );
+    }
+
+    #[test]
     fn policy_names_are_stable_report_keys() {
         assert_eq!(NullPolicy.name(), "no-coord");
         assert_eq!(RequestTypePolicy::new(WEB, APP, DB, X86).name(), "coord-ixp-dom0");
         assert_eq!(StreamQosPolicy::new(X86, 1).name(), "stream-qos");
         assert_eq!(BufferTriggerPolicy::new(X86).name(), "buffer-trigger");
+        assert_eq!(InferenceBatchPolicy::new(X86).name(), "inference-batch");
         assert_eq!(HysteresisPolicy::new(WEB, APP, DB, X86).name(), "coord-hysteresis");
     }
 }

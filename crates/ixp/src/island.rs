@@ -594,7 +594,9 @@ impl IxpIsland {
     }
 
     fn classify_cost(&self, pkt: &Packet) -> Nanos {
-        let model = if self.cfg.dpi && matches!(pkt.app, AppTag::Http { .. }) {
+        let model = if self.cfg.dpi
+            && matches!(pkt.app, AppTag::Http { .. } | AppTag::Inference { .. })
+        {
             CostModel::classify_dpi()
         } else {
             CostModel::classify_flow()

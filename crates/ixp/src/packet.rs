@@ -48,6 +48,20 @@ pub enum AppTag {
         /// Stream frame rate in frames/s.
         fps: u32,
     },
+    /// An inference invocation bound for the accelerator island, carrying
+    /// the model ordinal the classifier recovers from the RPC header.
+    Inference {
+        /// Workload-defined model ordinal.
+        model_id: u16,
+        /// `true` for interactive (latency-SLA) traffic, `false` for
+        /// batch/throughput traffic.
+        latency_sensitive: bool,
+    },
+    /// An inference result flowing back to a client.
+    InferenceResponse {
+        /// Model ordinal of the request being answered.
+        model_id: u16,
+    },
     /// Flow-control-free UDP bulk data.
     UdpBulk,
     /// Anything else.

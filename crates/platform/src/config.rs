@@ -1,11 +1,13 @@
 //! Scenario configuration and the platform builder.
 
 use crate::world::Platform;
+use accel::AccelConfig;
 use coord::{PolicyKind, ReliableConfig};
 use ixp::IxpConfig;
 use pcie::{FaultProfile, LinkConfig, NotifyMode};
 use power::Strategy;
 use simcore::Nanos;
+use workloads::inference::{InferenceConfig, TenantSpec};
 use workloads::mplayer::{Source, StreamSpec};
 use workloads::rubis::{Mix, RubisConfig};
 
@@ -196,9 +198,65 @@ impl MplayerScenario {
     }
 }
 
+/// An inference-serving scenario for the three-island platform: tenant
+/// VMs submitting to a batching accelerator behind the IXP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceScenario {
+    /// The open-loop tenant sources (one guest VM each).
+    pub inference: InferenceConfig,
+    /// Accelerator island configuration.
+    pub accel: AccelConfig,
+    /// Host→accelerator DMA latency per request.
+    pub dma_latency: Nanos,
+    /// When set, arm a queue alarm on each *latency-sensitive* tenant at
+    /// this many requests' worth of its model's input bytes. Batch
+    /// tenants stay unmonitored and pay the preemption cost (the
+    /// Figure 7 pattern).
+    pub interactive_alarm_depth: Option<u32>,
+}
+
+impl InferenceScenario {
+    /// Experiment I1's mixed-SLA colocation: two interactive tenants
+    /// (chat, vision) sharing the accelerator with two batch tenants
+    /// (rank, embed) at rates that keep the two execution units busy.
+    pub fn mixed_tenants() -> Self {
+        InferenceScenario {
+            inference: InferenceConfig {
+                tenants: vec![
+                    TenantSpec { name: "chat", model_id: 0, rate_per_sec: 260.0 },
+                    TenantSpec { name: "vision", model_id: 1, rate_per_sec: 120.0 },
+                    TenantSpec { name: "rank", model_id: 2, rate_per_sec: 220.0 },
+                    TenantSpec { name: "embed", model_id: 3, rate_per_sec: 90.0 },
+                ],
+                cost_jitter: 0.2,
+            },
+            accel: AccelConfig::default(),
+            dma_latency: Nanos::from_micros(20),
+            interactive_alarm_depth: None,
+        }
+    }
+
+    /// Experiment I2's trigger setup: each *interactive* tenant's device
+    /// queue is monitored at three requests' depth, so occupancy
+    /// crossings raise alarms that the BufferTrigger policy converts
+    /// into batch preemptions. Batch tenants are unmonitored and absorb
+    /// the preemption cost.
+    pub fn trigger_setup() -> Self {
+        let mut s = Self::mixed_tenants();
+        // Push the units toward saturation so queues actually form:
+        // preemptions then displace real batch work, making the
+        // colocated cost measurable rather than theoretical.
+        for t in &mut s.inference.tenants {
+            t.rate_per_sec *= 1.3;
+        }
+        s.interactive_alarm_depth = Some(3);
+        s
+    }
+}
+
 /// Builder for a [`Platform`]. Collects the island- and channel-level
-/// knobs shared by all scenarios; `build_rubis` / `build_mplayer`
-/// assemble a runnable simulation.
+/// knobs shared by all scenarios; `build_rubis` / `build_mplayer` /
+/// `build_inference` assemble a runnable simulation.
 ///
 /// # Example
 ///
@@ -386,6 +444,13 @@ impl PlatformBuilder {
     /// Assembles an MPlayer platform: Dom0 plus one guest per player.
     pub fn build_mplayer(self, scenario: MplayerScenario) -> Platform {
         Platform::new_mplayer(self, scenario)
+    }
+
+    /// Assembles a three-island inference platform: Dom0 plus one guest
+    /// per tenant, with a batching accelerator as the third coordinated
+    /// island. The default two-island builds never construct it.
+    pub fn build_inference(self, scenario: InferenceScenario) -> Platform {
+        Platform::new_inference(self, scenario)
     }
 }
 

@@ -40,20 +40,26 @@
 #![forbid(unsafe_code)]
 
 mod config;
+mod inference_path;
 mod media;
 mod report;
 mod rubis_path;
 mod world;
 
-pub use config::{MplayerScenario, PlatformBuilder, PlayerSpec, RubisScenario};
+pub use config::{
+    InferenceScenario, MplayerScenario, PlatformBuilder, PlayerSpec, RubisScenario,
+};
 pub use report::{
-    CoordReport, DomCpu, NetReport, PlayerReport, PowerReport, RubisReport, RunReport, SimRate,
+    AccelReport, AccelTenantReport, CoordReport, DomCpu, NetReport, PlayerReport, PowerReport,
+    RubisReport, RunReport, SimRate,
 };
 pub use world::Platform;
 
 // Re-export the types callers need to configure scenarios without extra
 // imports.
+pub use accel::AccelConfig;
 pub use coord::{PolicyKind, ReliableConfig};
+pub use workloads::inference::{InferenceConfig, TenantSpec};
 pub use pcie::{FaultProfile, Jitter};
 pub use power::Strategy as PowerStrategy;
 pub use workloads::mplayer::{Source, StreamSpec};

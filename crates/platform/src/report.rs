@@ -32,6 +32,49 @@ pub struct PlayerReport {
     pub frames: u64,
 }
 
+/// One inference tenant's accelerator-side accounting.
+#[derive(Debug, Clone, Default)]
+pub struct AccelTenantReport {
+    /// Tenant name ("chat", "rank", ...).
+    pub name: String,
+    /// `true` when the tenant's model carries an interactive latency SLA.
+    pub latency_sensitive: bool,
+    /// Requests accepted into the tenant's submission queue.
+    pub submitted: u64,
+    /// Requests completed by the accelerator.
+    pub completed: u64,
+    /// Requests rejected synchronously (device-memory exhaustion).
+    pub rejected: u64,
+    /// Batches launched for the tenant.
+    pub batches: u64,
+    /// Mean items per launched batch.
+    pub mean_batch: f64,
+    /// p99 batch-forming queue delay in milliseconds.
+    pub queue_p99_ms: f64,
+    /// Batches launched early by a coordination Trigger.
+    pub preemptions: u64,
+    /// Queue-occupancy alarms raised for the tenant.
+    pub alarms: u64,
+}
+
+/// Accelerator-island results (empty for the default two-island builds).
+#[derive(Debug, Clone, Default)]
+pub struct AccelReport {
+    /// Per-tenant accounting, in tenant order.
+    pub tenants: Vec<AccelTenantReport>,
+    /// Peak device-memory occupancy in bytes.
+    pub hbm_high_water: u64,
+    /// Submissions rejected for want of device memory.
+    pub hbm_rejects: u64,
+}
+
+impl AccelReport {
+    /// The tenant report for a name, if any.
+    pub fn tenant(&self, name: &str) -> Option<&AccelTenantReport> {
+        self.tenants.iter().find(|t| t.name == name)
+    }
+}
+
 /// Per-domain CPU accounting over the whole run.
 #[derive(Debug, Clone)]
 pub struct DomCpu {
@@ -153,6 +196,9 @@ pub struct RunReport {
     pub cpu_series: Vec<(String, Series)>,
     /// Monitored IXP buffer occupancy series in bytes.
     pub buffer_series: Series,
+    /// Accelerator-island results (empty unless the platform was built
+    /// with [`build_inference`](crate::PlatformBuilder::build_inference)).
+    pub accel: AccelReport,
     /// Modelled platform power.
     pub power: PowerReport,
     /// Simulator throughput (events dispatched, wall time, events/sec).

@@ -191,7 +191,10 @@ impl Platform {
         let now = self.now;
         let wire = self.costs.wire_latency;
         let run_end = self.run_end;
-        let Some(r) = self.rubis.as_mut() else { return };
+        let Some(r) = self.rubis.as_mut() else {
+            self.inference_wire_tx(pkt);
+            return;
+        };
         let Some(req) = r.resp_map.remove(&pkt.id) else { return };
         let Some(state) = r.reqs.remove(&req) else { return };
         let t_client = now + wire;

@@ -1,14 +1,19 @@
 //! The assembled platform: state, master event loop, and the output pump
 //! that chains island events into each other at identical timestamps.
 
-use crate::config::{HostCosts, MplayerScenario, PlatformBuilder, RubisScenario};
-use crate::report::{
-    CoordReport, DomCpu, NetReport, PlayerReport, PowerReport, RubisReport, RunReport, SimRate,
+use crate::config::{
+    HostCosts, InferenceScenario, MplayerScenario, PlatformBuilder, RubisScenario,
 };
+use crate::report::{
+    AccelReport, AccelTenantReport, CoordReport, DomCpu, NetReport, PlayerReport, PowerReport,
+    RubisReport, RunReport, SimRate,
+};
+use accel::{AccelEvent, AccelIsland, TenantId};
 use coord::{
     Action, BufferTriggerPolicy, Controller, CoordMsg, CoordinationPolicy, EntityId,
-    HysteresisPolicy, IslandId, IslandKind, NullPolicy, Observation, PolicyKind,
-    ReliableReceiver, ReliableSender, RequestTypePolicy, StreamQosPolicy,
+    HysteresisPolicy, InferenceBatchPolicy, IslandId, IslandKind, NullPolicy, Observation,
+    PolicyKind, ReliableReceiver, ReliableSender, RequestTypePolicy, ResourceManager,
+    StreamQosPolicy,
 };
 use ixp::{AppTag, FlowId, IxpConfig, IxpEvent, IxpIsland, Packet};
 use metrics::{platform_efficiency, ResponseStats, SessionStats};
@@ -18,6 +23,7 @@ use simcore::stats::Series;
 use simcore::trace::TraceBuffer;
 use simcore::{EventQueue, Nanos, SimRng};
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use workloads::inference::InferenceModel;
 use workloads::mplayer::{Player, Source};
 use workloads::rubis::{RequestType, RubisModel, Tier, TierDemands};
 use xsched::{Burst, CreditScheduler, DomId, SchedConfig, SchedEvent, WakeMode};
@@ -26,6 +32,9 @@ use xsched::{Burst, CreditScheduler, DomId, SchedConfig, SchedEvent, WakeMode};
 pub(crate) const X86: IslandId = IslandId(0);
 /// The IXP island's coordination identity.
 pub(crate) const IXP: IslandId = IslandId(1);
+/// The accelerator island's coordination identity (present only on
+/// inference platforms; the default two-island build never registers it).
+pub(crate) const ACCEL: IslandId = IslandId(2);
 
 /// Master-queue events (workload pacing and sampling).
 #[derive(Debug)]
@@ -40,6 +49,9 @@ pub(crate) enum Ev {
     BackgroundKick,
     /// A RUBiS client's retransmission timer fires.
     Rto { req: u64, attempt: u32 },
+    /// A guest-accepted inference request finishes its DMA into the
+    /// accelerator's submission queue.
+    AccelDma { req: u64 },
     /// Periodic measurement sample.
     Sample,
 }
@@ -61,6 +73,11 @@ pub(crate) enum Ctx {
     Background,
     /// Dom0 finished applying a coordination message.
     CoordApply { msg: CoordMsg },
+    /// A tenant VM finished post-processing a completed inference batch
+    /// item.
+    InfPost { req: u64 },
+    /// Dom0 finished bridging an inference response toward the IXP.
+    InfRespOut { req: u64 },
 }
 
 #[derive(Debug)]
@@ -109,6 +126,36 @@ pub(crate) struct RubisState {
 }
 
 #[derive(Debug)]
+pub(crate) struct InfReqState {
+    /// Tenant index into `tenant_vms` / the model's tenant table.
+    pub tenant: usize,
+    pub start: Nanos,
+    /// Current transmission attempt (0 = original send).
+    pub attempt: u32,
+    /// The request is past guest admission and owned by the DMA/accel
+    /// pipeline (guards duplicate retransmitted copies).
+    pub in_service: bool,
+    /// Sampled accelerator compute cost, stable across retransmissions.
+    pub cost: Nanos,
+}
+
+#[derive(Debug)]
+pub(crate) struct InferenceState {
+    pub model: InferenceModel,
+    pub reqs: HashMap<u64, InfReqState>,
+    /// Response packet id → request id.
+    pub resp_map: HashMap<u64, u64>,
+    /// Request packet id → request id (one entry per transmission).
+    pub pkt_to_req: HashMap<u64, u64>,
+    /// Tenant index → guest VM index.
+    pub tenant_vms: Vec<u32>,
+    /// Tenant index → accelerator-side queue identity.
+    pub accel_tenants: Vec<TenantId>,
+    /// Per-tenant accelerator queueing delay (batch-forming wait).
+    pub queue_delays: ResponseStats,
+}
+
+#[derive(Debug)]
 pub(crate) struct PlayerState {
     pub player: Player,
     pub vm_index: u32,
@@ -148,6 +195,16 @@ pub struct Platform {
     pub(crate) dom0: DomId,
     pub(crate) vms: Vec<VmSlot>,
     pub(crate) rubis: Option<RubisState>,
+    /// The optional third island: a batching inference accelerator.
+    /// `None` on every rubis/mplayer platform, keeping the default
+    /// two-island build byte-identical.
+    pub(crate) accel: Option<AccelIsland>,
+    /// Doorbell lane carrying wire-encoded coordination verbs from Dom0
+    /// to the accelerator (its own mailbox, with its own fault stream).
+    pub(crate) accel_mbx: Mailbox<Vec<u8>>,
+    pub(crate) inf: Option<InferenceState>,
+    /// Host→accelerator DMA latency for one inference request.
+    pub(crate) accel_dma: Nanos,
     pub(crate) players: Vec<PlayerState>,
     pub(crate) dom0_hog: f64,
     pub(crate) hog_chunk: Nanos,
@@ -190,6 +247,8 @@ pub struct Platform {
     pub(crate) scratch_mbx: Vec<Vec<u8>>,
     pub(crate) scratch_ack: Vec<Vec<u8>>,
     pub(crate) scratch_retx: Vec<(u32, CoordMsg)>,
+    pub(crate) scratch_accel: Vec<AccelEvent>,
+    pub(crate) scratch_accel_mbx: Vec<Vec<u8>>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -223,12 +282,14 @@ impl Platform {
         );
         let mut mbx = Mailbox::new(b.coord_latency);
         let mut ack_mbx = Mailbox::new(b.coord_latency);
+        let mut accel_mbx = Mailbox::new(b.coord_latency);
         if !b.fault_profile.is_none() {
             // Fault RNG streams are derived straight from the seed — never
             // forked from the platform RNG, which would shift every draw
             // the workload makes and break fault-free byte-identity.
             mbx.set_faults(b.fault_profile, SimRng::new(b.seed ^ 0xFA17_0001));
             ack_mbx.set_faults(b.fault_profile, SimRng::new(b.seed ^ 0xFA17_0002));
+            accel_mbx.set_faults(b.fault_profile, SimRng::new(b.seed ^ 0xFA17_0003));
         }
         Platform {
             now: Nanos::ZERO,
@@ -249,6 +310,10 @@ impl Platform {
             dom0: DomId::DOM0,
             vms: Vec::new(),
             rubis: None,
+            accel: None,
+            accel_mbx,
+            inf: None,
+            accel_dma: Nanos::from_micros(20),
             players: Vec::new(),
             dom0_hog: 0.0,
             hog_chunk: Nanos::from_millis(20),
@@ -284,6 +349,8 @@ impl Platform {
             scratch_mbx: Vec::new(),
             scratch_ack: Vec::new(),
             scratch_retx: Vec::new(),
+            scratch_accel: Vec::new(),
+            scratch_accel_mbx: Vec::new(),
         }
     }
 
@@ -348,7 +415,7 @@ impl Platform {
             )),
             PolicyKind::BufferTrigger => Box::new(BufferTriggerPolicy::new(X86)),
             PolicyKind::StreamQos => Box::new(StreamQosPolicy::new(X86, 500)),
-            PolicyKind::None => Box::new(NullPolicy),
+            PolicyKind::InferenceBatch | PolicyKind::None => Box::new(NullPolicy),
         };
         let model = RubisModel::new(scenario.rubis_config(), b.seed.wrapping_mul(0x9E37));
         let clients = (0..scenario.clients)
@@ -400,10 +467,80 @@ impl Platform {
                 }
                 Box::new(pol)
             }
-            PolicyKind::RequestType | PolicyKind::RequestTypeHysteresis | PolicyKind::None => {
-                Box::new(NullPolicy)
-            }
+            PolicyKind::RequestType
+            | PolicyKind::RequestTypeHysteresis
+            | PolicyKind::InferenceBatch
+            | PolicyKind::None => Box::new(NullPolicy),
         };
+        p
+    }
+
+    pub(crate) fn new_inference(b: PlatformBuilder, scenario: InferenceScenario) -> Platform {
+        let mut ixp_cfg = b.ixp_overrides.clone().unwrap_or_default();
+        // DPI on: the IXP classifies inference requests so the policy can
+        // see each tenant's SLA class at the network edge.
+        ixp_cfg.dpi = true;
+        let mut p = Platform::base(&b, ixp_cfg);
+        p.dom0 = p.sched.create_domain("dom0", 256, b.ncpus);
+        p.accel_dma = scenario.dma_latency;
+        let mut acc = AccelIsland::with_island(scenario.accel.clone(), ACCEL);
+        p.controller.handle(
+            Nanos::ZERO,
+            CoordMsg::RegisterIsland { island: ACCEL, kind: IslandKind::Accelerator },
+        );
+        let model = InferenceModel::new(scenario.inference.clone(), b.seed);
+        let mut tenant_vms = Vec::new();
+        let mut accel_tenants = Vec::new();
+        for (i, spec) in scenario.inference.tenants.iter().enumerate() {
+            let vm_index = (i + 1) as u32;
+            let slot = p.add_vm(spec.name, 256, vm_index, true);
+            let entity = p.vms[slot].entity;
+            let tenant = acc.register_tenant(vm_index);
+            // Monitor only interactive tenants' queues: their alarm sits
+            // at `depth` requests' worth of the model's input bytes.
+            if let Some(depth) = scenario.interactive_alarm_depth {
+                let m = model.model_of(i);
+                if m.latency_sensitive {
+                    acc.set_queue_alarm(tenant, Some(depth as u64 * m.input_bytes as u64));
+                }
+            }
+            // Third binding: the same platform entity is a submission
+            // queue on the accelerator island.
+            p.controller.handle(
+                Nanos::ZERO,
+                CoordMsg::RegisterEntity {
+                    entity,
+                    island: ACCEL,
+                    local_key: tenant.0 as u64,
+                },
+            );
+            tenant_vms.push(vm_index);
+            accel_tenants.push(tenant);
+        }
+        p.accel = Some(acc);
+        p.policy = match b.policy {
+            PolicyKind::InferenceBatch => Box::new(InferenceBatchPolicy::new(ACCEL)),
+            PolicyKind::BufferTrigger => {
+                let mut pol = BufferTriggerPolicy::new(ACCEL);
+                if let Some(rate) = b.trigger_rate {
+                    pol = pol.with_rate_limit(rate, (rate * 2.0).max(1.0));
+                }
+                Box::new(pol)
+            }
+            PolicyKind::RequestType
+            | PolicyKind::RequestTypeHysteresis
+            | PolicyKind::StreamQos
+            | PolicyKind::None => Box::new(NullPolicy),
+        };
+        p.inf = Some(InferenceState {
+            model,
+            reqs: HashMap::new(),
+            resp_map: HashMap::new(),
+            pkt_to_req: HashMap::new(),
+            tenant_vms,
+            accel_tenants,
+            queue_delays: ResponseStats::new(),
+        });
         p
     }
 
@@ -522,6 +659,8 @@ impl Platform {
                 Mbx,
                 Ack,
                 Retx,
+                Accel,
+                AccelMbx,
                 None,
             }
             let mut t = Nanos::MAX;
@@ -566,6 +705,18 @@ impl Platform {
                 if x < t {
                     t = x;
                     src = Src::Retx;
+                }
+            }
+            if let Some(x) = self.accel.as_ref().and_then(|a| a.next_event_time()) {
+                if x < t {
+                    t = x;
+                    src = Src::Accel;
+                }
+            }
+            if let Some(x) = self.accel_mbx.next_event_time() {
+                if x < t {
+                    t = x;
+                    src = Src::AccelMbx;
                 }
             }
             if src == Src::None || t > t_end {
@@ -613,6 +764,22 @@ impl Platform {
                     self.scratch_ack = msgs;
                 }
                 Src::Retx => self.pump_retransmits(),
+                Src::Accel => {
+                    let mut evs = std::mem::take(&mut self.scratch_accel);
+                    if let Some(acc) = self.accel.as_mut() {
+                        acc.on_timer(t, &mut evs);
+                    }
+                    self.absorb_accel_drain(&mut evs);
+                    self.scratch_accel = evs;
+                }
+                Src::AccelMbx => {
+                    let mut msgs = std::mem::take(&mut self.scratch_accel_mbx);
+                    self.accel_mbx.on_timer(t, &mut msgs);
+                    for m in msgs.drain(..) {
+                        self.handle_accel_delivery(m);
+                    }
+                    self.scratch_accel_mbx = msgs;
+                }
                 Src::None => unreachable!(),
             }
         }
@@ -632,6 +799,14 @@ impl Platform {
                 // Stagger initial arrivals across the first think time.
                 let jitter = Nanos::from_micros(self.rng.range(0, 100_000));
                 self.q.schedule(self.now + jitter, Ev::ClientSend(c));
+            }
+        }
+        if let Some(inf) = self.inf.as_mut() {
+            // Each tenant's first arrival lands one inter-arrival gap in,
+            // so sources start desynchronized.
+            for t in 0..inf.tenant_vms.len() as u32 {
+                let gap = inf.model.next_gap(t as usize);
+                self.q.schedule(self.now + gap, Ev::ClientSend(t));
             }
         }
         for i in 0..self.players.len() {
@@ -669,10 +844,23 @@ impl Platform {
                 let evs = self.ixp.rx_from_wire(now, pkt);
                 self.absorb_ixp(evs);
             }
-            Ev::ClientSend(client) => self.client_send(client),
+            Ev::ClientSend(client) => {
+                if self.inf.is_some() {
+                    self.inference_send(client)
+                } else {
+                    self.client_send(client)
+                }
+            }
             Ev::FrameGen(i) => self.frame_gen(i),
             Ev::BackgroundKick => self.submit_background(),
-            Ev::Rto { req, attempt } => self.client_rto(req, attempt),
+            Ev::Rto { req, attempt } => {
+                if self.inf.is_some() {
+                    self.inference_rto(req, attempt)
+                } else {
+                    self.client_rto(req, attempt)
+                }
+            }
+            Ev::AccelDma { req } => self.accel_dma_done(req),
             Ev::Sample => self.take_sample(),
         }
     }
@@ -720,6 +908,8 @@ impl Platform {
                 self.apply_coord_msg(msg);
                 self.pump_coord_applies();
             }
+            Ctx::InfPost { req } => self.inference_post_done(req),
+            Ctx::InfRespOut { req } => self.inference_resp_out(req),
         }
     }
 
@@ -773,6 +963,14 @@ impl Platform {
                     .and_then(|vm| self.slot_by_vm(vm))
                     .map(|i| self.vms[i].entity);
                 entity.map(|entity| Observation::StreamInfo { entity, kbps, fps })
+            }
+            AppTag::Inference { latency_sensitive, .. } => {
+                let entity = self
+                    .ixp
+                    .vm_of_flow(flow)
+                    .and_then(|vm| self.slot_by_vm(vm))
+                    .map(|i| self.vms[i].entity);
+                entity.map(|entity| Observation::InferenceArrival { entity, latency_sensitive })
             }
             _ => None,
         };
@@ -900,6 +1098,64 @@ impl Platform {
         }
     }
 
+    /// Absorbs accelerator events: completions feed the x86 post-process
+    /// path, queue alarms feed the coordination policy.
+    fn absorb_accel_drain(&mut self, evs: &mut Vec<AccelEvent>) {
+        for ev in evs.drain(..) {
+            match ev {
+                AccelEvent::Completed { id, tenant, batch_size, queued, .. } => {
+                    self.inference_completed(id, tenant, batch_size, queued);
+                }
+                AccelEvent::QueueAlarm { tenant, queued_bytes, .. } => {
+                    self.on_accel_alarm(tenant, queued_bytes);
+                }
+            }
+        }
+    }
+
+    /// Applies a coordination verb arriving over the accelerator's
+    /// doorbell lane, through the island's [`ResourceManager`] contract.
+    fn handle_accel_delivery(&mut self, bytes: Vec<u8>) {
+        let Ok((msg, _)) = coord::wire::decode(&bytes) else { return };
+        let now = self.now;
+        let Some(acc) = self.accel.as_mut() else { return };
+        let mgr: &mut dyn ResourceManager = acc;
+        match msg {
+            CoordMsg::Tune { entity, delta, .. } => {
+                if mgr.apply_tune(now, entity, delta).is_ok() {
+                    self.coord.tunes_applied += 1;
+                    self.trace
+                        .record(now, format!("accel tune {entity:?}: delta {delta}"));
+                }
+            }
+            CoordMsg::Trigger { entity, .. } => {
+                if mgr.apply_trigger(now, entity).is_ok() {
+                    self.coord.triggers_applied += 1;
+                    self.trace
+                        .record(now, format!("accel trigger {entity:?}: batch preempt"));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// A tenant's device-side queue crossed its occupancy threshold; give
+    /// the policy the same buffer-level view the IXP monitor produces.
+    fn on_accel_alarm(&mut self, tenant: TenantId, queued_bytes: u64) {
+        let Some(inf) = self.inf.as_ref() else { return };
+        let Some(idx) = inf.accel_tenants.iter().position(|t| *t == tenant) else {
+            return;
+        };
+        let Some(slot) = self.slot_by_vm(inf.tenant_vms[idx]) else { return };
+        let entity = self.vms[slot].entity;
+        let now = self.now;
+        let msgs = self.policy.observe(
+            now,
+            &Observation::BufferLevel { entity, bytes: queued_bytes, crossed: true },
+        );
+        self.send_coord(msgs);
+    }
+
     /// Keeps exactly one Dom0 coordination-apply burst in flight so Tune
     /// deltas land in channel order.
     fn pump_coord_applies(&mut self) {
@@ -941,6 +1197,33 @@ impl Platform {
                 let new = (cur + delta as i64).clamp(1, 16) as u32;
                 self.ixp.set_flow_threads(flow, new);
                 self.coord.tunes_applied += 1;
+            }
+            Action::ApplyTune { island, local_key, delta } if island == ACCEL => {
+                // The accelerator is behind its own doorbell lane: Dom0
+                // re-encodes the verb and the device applies it on
+                // delivery, so accel coordination pays channel latency
+                // (and suffers channel faults) like any other island.
+                let mut buf = Vec::new();
+                let msg = CoordMsg::Tune {
+                    entity: EntityId(local_key as u32),
+                    delta,
+                    target: Some(ACCEL),
+                };
+                let n = coord::wire::encode(&msg, &mut buf);
+                self.coord.bytes_sent += n as u64;
+                let now = self.now;
+                self.accel_mbx.send(now, buf);
+            }
+            Action::ApplyTrigger { island, local_key } if island == ACCEL => {
+                let mut buf = Vec::new();
+                let msg = CoordMsg::Trigger {
+                    entity: EntityId(local_key as u32),
+                    target: Some(ACCEL),
+                };
+                let n = coord::wire::encode(&msg, &mut buf);
+                self.coord.bytes_sent += n as u64;
+                let now = self.now;
+                self.accel_mbx.send(now, buf);
             }
             Action::ApplyTrigger { island, local_key } if island == X86 => {
                 let dom = DomId(local_key as u32);
@@ -1013,6 +1296,12 @@ impl Platform {
     fn route_into_guest(&mut self, vm: u32, pkt: Packet) {
         match pkt.app {
             AppTag::Http { .. } => self.rubis_request_arrived(vm, pkt),
+            AppTag::Inference { .. } => self.inference_request_arrived(vm, pkt),
+            AppTag::InferenceResponse { .. } => {
+                // Responses leave through the IXP; one arriving at a guest
+                // is a routing artifact. Release the window unit.
+                self.consume_rx(vm, 1);
+            }
             AppTag::Rtp { .. } | AppTag::UdpBulk => self.media_data_arrived(vm, pkt),
             AppTag::RtspSetup { .. } => {
                 // Session setup costs the guest a negligible burst; the
@@ -1141,6 +1430,42 @@ impl Platform {
         } else {
             0.0
         };
+        let accel = match (self.accel.as_ref(), self.inf.as_ref()) {
+            (Some(acc), Some(inf)) => {
+                let tenants = inf
+                    .accel_tenants
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        let s = acc.stats(*t).copied().unwrap_or_default();
+                        let name = inf.model.config().tenants[i].name.to_owned();
+                        let queue_p99_ms = inf.queue_delays.percentile(&name, 0.99);
+                        AccelTenantReport {
+                            name,
+                            latency_sensitive: inf.model.model_of(i).latency_sensitive,
+                            submitted: s.submitted,
+                            completed: s.completed,
+                            rejected: s.rejected,
+                            batches: s.batches,
+                            mean_batch: if s.batches > 0 {
+                                s.batch_items as f64 / s.batches as f64
+                            } else {
+                                0.0
+                            },
+                            queue_p99_ms,
+                            preemptions: s.preemptions,
+                            alarms: s.alarms,
+                        }
+                    })
+                    .collect();
+                AccelReport {
+                    tenants,
+                    hbm_high_water: acc.hbm_high_water(),
+                    hbm_rejects: acc.hbm_rejects(),
+                }
+            }
+            _ => AccelReport::default(),
+        };
         let power = PowerReport {
             cap_watts: self.power_gov.as_ref().map(|g| g.cap_watts()),
             mean_watts: self.power_series.mean(),
@@ -1189,6 +1514,7 @@ impl Platform {
             },
             cpu_series,
             buffer_series: std::mem::take(&mut self.buffer_series),
+            accel,
             power,
             sim_rate: SimRate {
                 events,

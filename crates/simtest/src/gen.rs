@@ -517,6 +517,75 @@ pub mod domain {
             out
         })
     }
+
+    /// One generated inference tenant: the model ordinal it serves, a
+    /// per-request accelerator compute cost, an open-loop arrival rate and
+    /// the request's device-memory footprint.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct InferenceTenantMix {
+        /// Model catalogue ordinal (0..=3).
+        pub model_id: u16,
+        /// Per-request compute cost on one execution unit.
+        pub cost: Nanos,
+        /// Mean arrival rate, requests per second.
+        pub rate_per_sec: u32,
+        /// Bytes pinned in device memory per request.
+        pub bytes: u32,
+    }
+
+    impl InferenceTenantMix {
+        /// The least-loaded tenant of the domain (the shrink anchor).
+        pub fn minimal() -> Self {
+            InferenceTenantMix {
+                model_id: 0,
+                cost: Nanos::from_micros(50),
+                rate_per_sec: 1,
+                bytes: 512,
+            }
+        }
+    }
+
+    /// Multi-tenant inference mixes for the accelerator properties: 1–6
+    /// tenants, compute costs from 50 µs to 5 ms, rates up to 400 req/s
+    /// and footprints from 512 B to 64 KiB. Shrinks tenant-count via
+    /// `vec_of` and each tenant one dimension at a time toward
+    /// [`InferenceTenantMix::minimal`].
+    pub fn inference_mix() -> Gen<Vec<InferenceTenantMix>> {
+        let tenant = zip2(
+            zip2(
+                Gen::u16_in(0, 3),
+                Gen::nanos_in(Nanos::from_micros(50), Nanos::from_millis(5)),
+            ),
+            zip2(Gen::u32_in(1, 400), Gen::u32_in(512, 64 * 1024)),
+        )
+        .map(|((model_id, cost), (rate_per_sec, bytes))| InferenceTenantMix {
+            model_id,
+            cost,
+            rate_per_sec,
+            bytes,
+        })
+        .with_shrink(|t| {
+            let min = InferenceTenantMix::minimal();
+            let mut out = Vec::new();
+            if *t != min {
+                out.push(min);
+            }
+            if t.model_id != min.model_id {
+                out.push(InferenceTenantMix { model_id: min.model_id, ..*t });
+            }
+            if t.cost != min.cost {
+                out.push(InferenceTenantMix { cost: min.cost, ..*t });
+            }
+            if t.rate_per_sec != min.rate_per_sec {
+                out.push(InferenceTenantMix { rate_per_sec: min.rate_per_sec, ..*t });
+            }
+            if t.bytes != min.bytes {
+                out.push(InferenceTenantMix { bytes: min.bytes, ..*t });
+            }
+            out
+        });
+        vec_of(tenant, 1, 6)
+    }
 }
 
 #[cfg(test)]
@@ -597,6 +666,37 @@ mod tests {
             seen[idx] = true;
         }
         assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn inference_mix_respects_domain_bounds_and_shrinks_to_minimal() {
+        let g = domain::inference_mix();
+        let mut rng = SimRng::new(9);
+        for _ in 0..100 {
+            let mix = g.sample(&mut rng);
+            assert!((1..=6).contains(&mix.len()));
+            for t in &mix {
+                assert!(t.model_id <= 3);
+                assert!(t.cost >= Nanos::from_micros(50) && t.cost <= Nanos::from_millis(5));
+                assert!((1..=400).contains(&t.rate_per_sec));
+                assert!((512..=64 * 1024).contains(&t.bytes));
+            }
+            for s in g.shrinks(&mix) {
+                assert!(!s.is_empty(), "never shrinks to zero tenants");
+            }
+        }
+        let heavy = vec![domain::InferenceTenantMix {
+            model_id: 3,
+            cost: Nanos::from_millis(4),
+            rate_per_sec: 300,
+            bytes: 32_768,
+        }];
+        assert!(
+            g.shrinks(&heavy)
+                .iter()
+                .any(|s| s == &vec![domain::InferenceTenantMix::minimal()]),
+            "offers the minimal tenant as a shrink"
+        );
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //!   frame/packet schedule, and a per-frame decode cost model calibrated
 //!   so that the Figure 6 weight configurations reproduce the paper's
 //!   meets/misses pattern.
+//! * [`inference`] — open-loop multi-tenant inference serving for the
+//!   accelerator island (§5's heterogeneous-future direction): a model
+//!   catalogue spanning interactive and batch SLAs, Poisson per-tenant
+//!   arrivals and per-request compute costs.
 //!
 //! ## Example
 //!
@@ -35,5 +39,6 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod inference;
 pub mod mplayer;
 pub mod rubis;

@@ -22,6 +22,42 @@ for suite in micro scheduler ixp_pipeline paper_artifacts; do
     echo "    ok: $report"
 done
 
+echo "==> accel smoke pass (experiments inference --smoke --jobs 2)"
+./target/release/experiments --smoke --jobs 2 inference > /dev/null
+python3 - <<'EOF'
+import csv, sys
+
+rows = list(csv.DictReader(open("results/i1_inference_batching.csv")))
+tenants = [r["tenant"] for r in rows]
+if tenants != ["chat", "vision", "rank", "embed"]:
+    sys.exit(f"i1_inference_batching.csv: unexpected tenant rows {tenants}")
+for r in rows:
+    if r["class"] not in ("latency", "throughput"):
+        sys.exit(f"i1_inference_batching.csv: bad class for {r['tenant']}")
+    for col in ("Base p99 ms", "Coord p99 ms", "Base goodput/s", "Coord goodput/s"):
+        if float(r[col]) <= 0.0:
+            sys.exit(f"i1_inference_batching.csv: {r['tenant']} has no {col}")
+    for col in ("Base mean batch", "Coord mean batch"):
+        if float(r[col]) < 1.0:
+            sys.exit(f"i1_inference_batching.csv: {r['tenant']} {col} below 1")
+
+rows = list(csv.DictReader(open("results/i2_batch_preemption.csv")))
+bym = {r["Metric"]: r for r in rows}
+for t in ("chat", "vision", "rank", "embed"):
+    for m in (f"{t} queue p99 ms", f"{t} mean batch"):
+        if m not in bym:
+            sys.exit(f"i2_batch_preemption.csv: missing row '{m}'")
+triggers = bym.get("Triggers applied")
+preempts = bym.get("Batches preempted")
+if triggers is None or preempts is None:
+    sys.exit("i2_batch_preemption.csv: missing trigger summary rows")
+if int(triggers["no-coord"]) != 0:
+    sys.exit("i2_batch_preemption.csv: uncoordinated run applied triggers")
+if int(triggers["coord-trigger"]) == 0 or int(preempts["coord-trigger"]) == 0:
+    sys.exit("i2_batch_preemption.csv: coordinated run never preempted a batch")
+print("    ok: i1_inference_batching.csv and i2_batch_preemption.csv shapes verified")
+EOF
+
 echo "==> experiments smoke pass (--smoke --jobs 2)"
 baseline=$(mktemp)
 git show HEAD:results/BENCH_experiments.json > "$baseline" 2>/dev/null || true

@@ -13,11 +13,14 @@
 //! * [`simcore`] — discrete-event kernel (time, events, RNG, statistics)
 //! * [`xsched`] — the x86 island: a faithful Xen credit-scheduler model
 //! * [`ixp`] — the IXP2850 island: microengines, memory hierarchy, pipelines
+//! * [`accel`] — the third island: a batching inference accelerator with
+//!   per-tenant weighted queues and device-memory occupancy
 //! * [`pcie`] — the interconnect: DMA, message rings, coordination mailbox
 //! * [`coord`] — the paper's contribution: islands, entities, Tune/Trigger,
 //!   the global controller and coordination policies
-//! * [`workloads`] — RUBiS (3-tier auction site) and MPlayer (streaming)
-//! * [`platform`] — the wired-up two-island platform simulation
+//! * [`workloads`] — RUBiS (3-tier auction site), MPlayer (streaming) and
+//!   multi-tenant inference serving
+//! * [`platform`] — the wired-up two- or three-island platform simulation
 //! * [`metrics`] — reporting: response times, throughput, utilization,
 //!   platform efficiency
 //!
@@ -37,6 +40,7 @@
 //! assert!(report.rubis.completed > 0);
 //! ```
 
+pub use accel;
 pub use coord;
 pub use ixp;
 pub use metrics;

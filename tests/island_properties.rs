@@ -1,11 +1,14 @@
 //! Properties for the island-facing subsystems: PCIe host-link
-//! flow-control/ordering and power-governor cap behaviour.
+//! flow-control/ordering, power-governor cap behaviour, and the batching
+//! accelerator's request conservation.
 
+use accel::{AccelConfig, AccelEvent, AccelIsland, AccelRequest, TenantId};
 use archipelago::simcore::Nanos;
+use coord::{EntityId, ResourceManager};
 use ixp::{AppTag, FlowId, Packet};
 use pcie::{HostLink, LinkConfig, NotifyMode, PcieEvent};
 use power::{DomainSample, PowerGovernor, Strategy};
-use simtest::gen::{vec_of, zip2, zip3, Gen};
+use simtest::gen::{domain, vec_of, zip2, zip3, Gen};
 use simtest::{check, st_assert, st_assert_eq};
 
 fn pkt(id: u64, len: u32) -> Packet {
@@ -272,4 +275,107 @@ fn power_caps_monotone_under_sustained_pressure() {
 /// Generator for one host-bound post: (inter-post gap in µs, payload len).
 fn domain_post() -> Gen<(u64, u32)> {
     zip2(Gen::u64_in(0, 99), simtest::gen::domain::packet_len())
+}
+
+// ----------------------------------------------------------------------
+// accel — batching accelerator request conservation
+// ----------------------------------------------------------------------
+
+/// Whatever tenant mix is offered, the accelerator conserves requests:
+/// every submission is rejected synchronously or eventually completed,
+/// launched batch items sum to completions, and the device-memory pool
+/// drains back to zero once the island idles. A mid-run Trigger (forced
+/// partial launch) must not break any of it.
+#[test]
+fn accel_conserves_requests_across_tenant_mixes() {
+    check(
+        "accel_conserves_requests_across_tenant_mixes",
+        &domain::inference_mix(),
+        |mix| {
+            let cfg = AccelConfig {
+                // A small pool so heavy mixes exercise the rejection path.
+                hbm_capacity: 256 * 1024,
+                ..AccelConfig::default()
+            };
+            let mut acc = AccelIsland::new(cfg);
+            let tenants: Vec<TenantId> =
+                (0..mix.len()).map(|i| acc.register_tenant(i as u32 + 1)).collect();
+
+            // Deterministic open-loop schedule: up to 30 requests per
+            // tenant at its mean inter-arrival gap, merged in time order.
+            let mut subs: Vec<(Nanos, usize, u64)> = Vec::new();
+            let mut id = 0u64;
+            for (t, m) in mix.iter().enumerate() {
+                let gap = 1_000_000_000 / m.rate_per_sec as u64;
+                for k in 0..(m.rate_per_sec as u64).min(30) {
+                    id += 1;
+                    subs.push((Nanos(gap * (k + 1)), t, id));
+                }
+            }
+            subs.sort_unstable();
+
+            let mut events: Vec<AccelEvent> = Vec::new();
+            let mut offered = vec![0u64; mix.len()];
+            let mut accepted = vec![0u64; mix.len()];
+            let trigger_at = subs.len() / 2;
+            for (n, &(at, t, rid)) in subs.iter().enumerate() {
+                while let Some(ts) = acc.next_event_time() {
+                    if ts > at {
+                        break;
+                    }
+                    acc.on_timer(ts, &mut events);
+                }
+                if n == trigger_at {
+                    // Tenant 0's entity key is its index, as the platform
+                    // binds it.
+                    let mgr: &mut dyn ResourceManager = &mut acc;
+                    mgr.apply_trigger(at, EntityId(0))
+                        .map_err(|e| format!("trigger rejected: {e:?}"))?;
+                }
+                offered[t] += 1;
+                let req = AccelRequest {
+                    id: rid,
+                    tenant: tenants[t],
+                    cost: mix[t].cost,
+                    bytes: mix[t].bytes as u64,
+                };
+                if acc.submit(at, req) {
+                    accepted[t] += 1;
+                }
+            }
+            // Drain to idle.
+            while let Some(ts) = acc.next_event_time() {
+                acc.on_timer(ts, &mut events);
+            }
+
+            let mut seen = std::collections::HashSet::new();
+            let mut completed_events = vec![0u64; mix.len()];
+            for ev in &events {
+                if let AccelEvent::Completed { id, tenant, batch_size, .. } = ev {
+                    st_assert!(seen.insert(*id), "request {id} completed twice");
+                    st_assert!(*batch_size >= 1, "empty batch completed");
+                    completed_events[tenant.0 as usize] += 1;
+                }
+            }
+            for (t, m) in mix.iter().enumerate() {
+                let s = acc.stats(tenants[t]).ok_or("tenant stats missing")?;
+                st_assert_eq!(s.submitted, accepted[t], "tenant {t} submissions");
+                st_assert_eq!(s.submitted + s.rejected, offered[t], "tenant {t} conservation");
+                st_assert_eq!(s.completed, s.submitted, "tenant {t} drained");
+                st_assert_eq!(s.completed, completed_events[t], "tenant {t} events");
+                st_assert_eq!(s.batch_items, s.completed, "tenant {t} batch items");
+                if s.batches > 0 {
+                    st_assert!(
+                        s.batch_items.div_ceil(s.batches) <= AccelConfig::default().max_batch as u64,
+                        "tenant {t} mean batch exceeds max_batch"
+                    );
+                }
+                st_assert!(s.preemptions <= s.batches, "tenant {t} preemptions bound");
+                st_assert_eq!(acc.queue_depth(tenants[t]), 0, "tenant {t} queue drained");
+                let _ = m;
+            }
+            st_assert_eq!(acc.hbm_used(), 0, "device memory leaked");
+            Ok(())
+        },
+    );
 }

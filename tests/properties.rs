@@ -254,6 +254,64 @@ fn truncated_wire_messages_never_panic() {
 }
 
 #[test]
+fn framed_wire_prefixes_never_decode() {
+    // Every tag — including the tag-6 reliable-delivery frame — rejects
+    // every strict prefix of its encoding with a clean error, under both
+    // the plain and the framed decoder.
+    let input = zip2(zip2(domain::coord_msg(), Gen::u32_any()), Gen::u64_in(0, 63));
+    check("framed_wire_prefixes_never_decode", &input, |((msg, seq), cut)| {
+        let mut plain = Vec::new();
+        let n = wire::encode(msg, &mut plain);
+        let c = (*cut as usize) % n;
+        st_assert!(
+            wire::decode(&plain[..c]).is_err(),
+            "plain decode of a {c}-byte prefix of a {n}-byte message succeeded"
+        );
+        st_assert!(
+            wire::decode_framed(&plain[..c]).is_err(),
+            "framed decode of a {c}-byte plain prefix succeeded"
+        );
+
+        let mut framed = Vec::new();
+        let fl = wire::encode_framed(*seq, msg, &mut framed);
+        let (s, d, used) =
+            wire::decode_framed(&framed).map_err(|e| format!("frame round-trip failed: {e:?}"))?;
+        st_assert_eq!(s, *seq);
+        st_assert_eq!(d, *msg);
+        st_assert_eq!(used, fl);
+        // The plain decoder never accepts a frame (tag namespaces stay
+        // disjoint), and neither decoder accepts a strict frame prefix.
+        st_assert!(wire::decode(&framed).is_err(), "plain decode accepted a frame");
+        let fc = (*cut as usize) % fl;
+        st_assert!(
+            wire::decode_framed(&framed[..fc]).is_err(),
+            "framed decode of a {fc}-byte prefix of a {fl}-byte frame succeeded"
+        );
+        st_assert!(
+            wire::decode(&framed[..fc]).is_err(),
+            "plain decode of a {fc}-byte frame prefix succeeded"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn arbitrary_bytes_never_panic_the_wire_decoders() {
+    // Decoding untrusted bytes either errors or reports a consumed length
+    // within bounds; it never panics.
+    let bytes = vec_of(Gen::u64_in(0, 255).map(|b| b as u8), 0, 40);
+    check("arbitrary_bytes_never_panic_the_wire_decoders", &bytes, |bytes| {
+        if let Ok((_, used)) = wire::decode(bytes) {
+            st_assert!(used <= bytes.len(), "decode used {used} of {}", bytes.len());
+        }
+        if let Ok((_, _, used)) = wire::decode_framed(bytes) {
+            st_assert!(used <= bytes.len(), "decode_framed used {used} of {}", bytes.len());
+        }
+        Ok(())
+    });
+}
+
+#[test]
 fn registry_is_bijective() {
     let bindings = vec_of(
         zip3(Gen::u32_any(), Gen::u16_in(0, 7), Gen::u64_any()),
