@@ -1,0 +1,81 @@
+//! Churn benchmarks for the timing-wheel [`EventQueue`]: schedule,
+//! cancel, and pop mixes at the three horizon regimes the wheel
+//! distinguishes — imminent (inside the current bucket), near (inside
+//! the wheel span), and far (overflow heap) — plus a mixed workload
+//! shaped like the platform's steady state.
+
+use simcore::{EventQueue, Nanos, SimRng};
+use simtest::BenchSuite;
+use std::hint::black_box;
+
+/// One schedule+pop cycle of `n` events whose horizons are drawn
+/// uniformly from `[1, span]` ns past the current virtual time.
+fn schedule_pop_cycle(rng: &mut SimRng, span: u64, n: u64) -> u64 {
+    let mut q = EventQueue::new();
+    let mut now = 0u64;
+    let mut sum = 0u64;
+    for i in 0..n {
+        q.schedule(Nanos(now + 1 + rng.next_u64() % span), i);
+        // Drain every other event so the wheel advances as it would in a
+        // live simulation instead of filling up and emptying once.
+        if i % 2 == 1 {
+            if let Some((t, v)) = q.pop() {
+                now = t.0;
+                sum += v;
+            }
+        }
+    }
+    while let Some((_, v)) = q.pop() {
+        sum += v;
+    }
+    black_box(sum)
+}
+
+fn main() {
+    let mut suite = BenchSuite::new("queue");
+
+    // Horizon regimes: imminent events land in the wheel's current
+    // bucket, near events elsewhere in the 512-bucket span, far events
+    // in the overflow heap.
+    let mut rng = SimRng::new(11);
+    suite.bench("queue/schedule_pop_imminent_1k", || {
+        schedule_pop_cycle(&mut rng, 2_000, 1000)
+    });
+    let mut rng = SimRng::new(12);
+    suite.bench("queue/schedule_pop_near_1k", || {
+        schedule_pop_cycle(&mut rng, 1_000_000, 1000)
+    });
+    let mut rng = SimRng::new(13);
+    suite.bench("queue/schedule_pop_far_1k", || {
+        schedule_pop_cycle(&mut rng, 100_000_000, 1000)
+    });
+
+    // Steady-state churn against a persistent queue: every iteration
+    // schedules one long timer, cancels one outstanding timer (the
+    // retransmit/RTO pattern — most timers never fire), schedules one
+    // imminent event and pops one due event. Queue depth and the live
+    // timer set both stay flat, so the loop measures churn, not growth.
+    let mut rng = SimRng::new(14);
+    let mut q = EventQueue::new();
+    let mut keys = Vec::new();
+    let mut now = 0u64;
+    for i in 0..256u64 {
+        keys.push(q.schedule(Nanos(10_000_000 + rng.next_u64() % 1_000_000), i));
+    }
+    suite.bench("queue/churn_mixed", || {
+        keys.push(q.schedule(
+            Nanos(now + 10_000_000 + rng.next_u64() % 1_000_000),
+            0,
+        ));
+        let idx = (rng.next_u64() as usize) % keys.len();
+        q.cancel(keys.swap_remove(idx));
+        q.schedule(Nanos(now + 1 + rng.next_u64() % 2_000), 1);
+        if let Some((t, v)) = q.pop() {
+            now = t.0;
+            black_box(v);
+        }
+        black_box(q.len())
+    });
+
+    suite.finish();
+}

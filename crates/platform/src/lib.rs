@@ -44,6 +44,7 @@ mod inference_path;
 mod media;
 mod report;
 mod rubis_path;
+mod trace_event;
 mod world;
 
 pub use config::{
@@ -53,6 +54,7 @@ pub use report::{
     AccelReport, AccelTenantReport, CoordReport, DomCpu, NetReport, PlayerReport, PowerReport,
     RubisReport, RunReport, SimRate,
 };
+pub use trace_event::TraceEvent;
 pub use world::Platform;
 
 // Re-export the types callers need to configure scenarios without extra

@@ -7,7 +7,7 @@
 //! continuously ("fastest frame rate possible", as MPlayer's benchmark
 //! mode does).
 
-use crate::world::{Ctx, Ev, Platform};
+use crate::world::{horizon, Ctx, Ev, Platform};
 use ixp::Packet;
 use workloads::mplayer::{Source, MTU_BYTES};
 use xsched::{Burst, WakeMode};
@@ -20,6 +20,7 @@ impl Platform {
         let overrate = self.overrate;
         let run_end = self.run_end;
         let Some(p) = self.players.get_mut(i) else { return };
+        self.horizon_dirty |= horizon::QUEUE;
         let spec = p.player.spec();
         let vm = p.vm_index;
         let mut remaining = spec.bytes_per_frame();

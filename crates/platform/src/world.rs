@@ -20,6 +20,7 @@ use metrics::{platform_efficiency, ResponseStats, SessionStats};
 use pcie::{HostLink, Mailbox, PcieEvent};
 use power::{CpuPowerModel, DomainSample, IxpPowerModel, PowerGovernor};
 use simcore::stats::Series;
+use crate::trace_event::TraceEvent;
 use simcore::trace::TraceBuffer;
 use simcore::{EventQueue, Nanos, SimRng};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -171,6 +172,25 @@ pub(crate) struct CoordCounters {
     pub triggers_applied: u64,
 }
 
+/// Bit assignments for the master loop's cached event horizon. One bit
+/// per event source; a source's bit is set in `Platform::horizon_dirty`
+/// whenever code mutates that source's timing state, and `Platform::run`
+/// refreshes only the marked entries before taking the min.
+pub(crate) mod horizon {
+    pub const QUEUE: u16 = 1 << 0;
+    pub const SCHED: u16 = 1 << 1;
+    pub const IXP: u16 = 1 << 2;
+    pub const LINK: u16 = 1 << 3;
+    pub const MBX: u16 = 1 << 4;
+    pub const ACK: u16 = 1 << 5;
+    pub const RETX: u16 = 1 << 6;
+    pub const ACCEL: u16 = 1 << 7;
+    pub const ACCEL_MBX: u16 = 1 << 8;
+    /// Number of event sources (= index bound for `Platform::horizons`).
+    pub const NSRC: usize = 9;
+    pub const ALL: u16 = (1 << NSRC as u16) - 1;
+}
+
 /// The fully wired two-island platform. Construct with
 /// [`PlatformBuilder`](crate::PlatformBuilder), then call [`run`](Self::run).
 pub struct Platform {
@@ -229,7 +249,7 @@ pub struct Platform {
     pub(crate) monitored_flow: Option<FlowId>,
     pub(crate) delivered: u64,
     pub(crate) guest_drops: u64,
-    pub(crate) trace: TraceBuffer,
+    pub(crate) trace: TraceBuffer<TraceEvent>,
     pub(crate) power_gov: Option<PowerGovernor>,
     pub(crate) cpu_power: CpuPowerModel,
     pub(crate) ixp_power: IxpPowerModel,
@@ -249,6 +269,14 @@ pub struct Platform {
     pub(crate) scratch_retx: Vec<(u32, CoordMsg)>,
     pub(crate) scratch_accel: Vec<AccelEvent>,
     pub(crate) scratch_accel_mbx: Vec<Vec<u8>>,
+    /// Cached `next_event_time()` of each source (`Nanos::MAX` = idle),
+    /// indexed by the bit positions in [`horizon`]. Only entries whose
+    /// bit is set in `horizon_dirty` are recomputed each iteration, so
+    /// the steady-state loop cost is a min over nine array slots rather
+    /// than nine virtual calls (one of which — the reliable sender's
+    /// timer — is O(pending)).
+    pub(crate) horizons: [Nanos; horizon::NSRC],
+    pub(crate) horizon_dirty: u16,
 }
 
 impl std::fmt::Debug for Platform {
@@ -351,10 +379,32 @@ impl Platform {
             scratch_retx: Vec::new(),
             scratch_accel: Vec::new(),
             scratch_accel_mbx: Vec::new(),
+            horizons: [Nanos::MAX; horizon::NSRC],
+            horizon_dirty: horizon::ALL,
         }
     }
 
+    /// Recomputes one source's horizon from scratch. The run loop calls
+    /// this only for dirty entries (and, in debug builds, to cross-check
+    /// every cached entry against the live sources).
+    fn fresh_horizon(&self, i: usize) -> Nanos {
+        let t = match i {
+            0 => self.q.peek_time(),
+            1 => self.sched.next_event_time(),
+            2 => self.ixp.next_event_time(),
+            3 => self.link.next_event_time(),
+            4 => self.mbx.next_event_time(),
+            5 => self.ack_mbx.next_event_time(),
+            6 => self.rel_tx.as_ref().and_then(|tx| tx.next_timer()),
+            7 => self.accel.as_ref().and_then(|a| a.next_event_time()),
+            8 => self.accel_mbx.next_event_time(),
+            _ => unreachable!("no such event source"),
+        };
+        t.unwrap_or(Nanos::MAX)
+    }
+
     fn add_vm(&mut self, name: &str, weight: u32, vm_index: u32, with_flow: bool) -> usize {
+        self.horizon_dirty |= horizon::SCHED | horizon::IXP;
         let dom = self.sched.create_domain(name, weight, 1);
         let entity = EntityId(vm_index);
         let flow = with_flow.then(|| self.ixp.register_flow(vm_index));
@@ -565,6 +615,7 @@ impl Platform {
 
     /// Submits a burst to a domain and absorbs any catch-up completions.
     pub(crate) fn submit(&mut self, dom: DomId, burst: Burst, wake: WakeMode) {
+        self.horizon_dirty |= horizon::SCHED;
         let now = self.now;
         let evs = self
             .sched
@@ -579,13 +630,21 @@ impl Platform {
         let Some(flow) = self.ixp.flow_of_vm(vm_index) else {
             return false;
         };
+        self.horizon_dirty |= horizon::IXP;
         self.ixp.set_flow_threads(flow, threads);
         true
     }
 
     /// The most recent coordination decisions applied on the x86 island
-    /// (bounded history; useful when debugging a policy).
-    pub fn coordination_trace(&self) -> impl Iterator<Item = &(Nanos, String)> {
+    /// (bounded history; useful when debugging a policy), rendered to
+    /// text lazily — the hot path records compact [`TraceEvent`] values.
+    pub fn coordination_trace(&self) -> impl Iterator<Item = (Nanos, String)> + '_ {
+        self.trace.iter().map(|&(t, e)| (t, e.to_string()))
+    }
+
+    /// The same bounded history as [`coordination_trace`](Self::coordination_trace),
+    /// as the structured values the hot path actually records.
+    pub fn coordination_trace_events(&self) -> impl Iterator<Item = &(Nanos, TraceEvent)> {
         self.trace.iter()
     }
 
@@ -624,6 +683,7 @@ impl Platform {
     /// Returns `false` if no such domain exists. Used by experiments that
     /// evaluate static weight assignments.
     pub fn set_weight_by_name(&mut self, name: &str, weight: u32) -> bool {
+        self.horizon_dirty |= horizon::SCHED;
         if name == "dom0" {
             return self.sched.set_weight(self.dom0, weight).is_ok();
         }
@@ -649,105 +709,69 @@ impl Platform {
         self.run_end = t_end;
         self.q.schedule(self.now + self.sample_period, Ev::Sample);
         self.start_workload();
+        // Pre-run configuration (weights, alarms, repeated `run` calls)
+        // may have moved any source; start from a full refresh.
+        self.horizon_dirty = horizon::ALL;
         loop {
-            #[derive(PartialEq)]
-            enum Src {
-                Queue,
-                Sched,
-                Ixp,
-                Link,
-                Mbx,
-                Ack,
-                Retx,
-                Accel,
-                AccelMbx,
-                None,
+            let mut d = self.horizon_dirty;
+            while d != 0 {
+                let i = d.trailing_zeros() as usize;
+                d &= d - 1;
+                self.horizons[i] = self.fresh_horizon(i);
+            }
+            self.horizon_dirty = 0;
+            #[cfg(debug_assertions)]
+            for i in 0..horizon::NSRC {
+                debug_assert_eq!(
+                    self.horizons[i],
+                    self.fresh_horizon(i),
+                    "stale cached horizon for source bit {i}: a mutation \
+                     site is missing its `horizon_dirty` mark"
+                );
             }
             let mut t = Nanos::MAX;
-            let mut src = Src::None;
-            if let Some(x) = self.q.peek_time() {
-                if x < t {
-                    t = x;
-                    src = Src::Queue;
+            let mut src = horizon::NSRC;
+            for (i, &h) in self.horizons.iter().enumerate() {
+                if h < t {
+                    t = h;
+                    src = i;
                 }
             }
-            if let Some(x) = self.sched.next_event_time() {
-                if x < t {
-                    t = x;
-                    src = Src::Sched;
-                }
-            }
-            if let Some(x) = self.ixp.next_event_time() {
-                if x < t {
-                    t = x;
-                    src = Src::Ixp;
-                }
-            }
-            if let Some(x) = self.link.next_event_time() {
-                if x < t {
-                    t = x;
-                    src = Src::Link;
-                }
-            }
-            if let Some(x) = self.mbx.next_event_time() {
-                if x < t {
-                    t = x;
-                    src = Src::Mbx;
-                }
-            }
-            if let Some(x) = self.ack_mbx.next_event_time() {
-                if x < t {
-                    t = x;
-                    src = Src::Ack;
-                }
-            }
-            if let Some(x) = self.rel_tx.as_ref().and_then(|tx| tx.next_timer()) {
-                if x < t {
-                    t = x;
-                    src = Src::Retx;
-                }
-            }
-            if let Some(x) = self.accel.as_ref().and_then(|a| a.next_event_time()) {
-                if x < t {
-                    t = x;
-                    src = Src::Accel;
-                }
-            }
-            if let Some(x) = self.accel_mbx.next_event_time() {
-                if x < t {
-                    t = x;
-                    src = Src::AccelMbx;
-                }
-            }
-            if src == Src::None || t > t_end {
+            if src == horizon::NSRC || t > t_end {
                 break;
             }
             self.now = t;
             events += 1;
+            // Dispatching a source always perturbs it (its head event is
+            // consumed), so its entry is unconditionally dirty; anything
+            // else the handler touches marks itself at the mutation site.
+            self.horizon_dirty |= 1 << src;
+            // Arms are ordered by the bit assignments in [`horizon`]:
+            // queue, sched, ixp, link, mbx, ack, retx, accel, accel_mbx.
             match src {
-                Src::Queue => {
+                0 => {
                     let (_, ev) = self.q.pop().expect("peeked");
                     self.handle_ev(ev);
                 }
-                Src::Sched => {
+                1 => {
                     let mut evs = std::mem::take(&mut self.scratch_sched);
                     self.sched.on_timer(t, &mut evs);
                     self.absorb_sched_drain(&mut evs);
                     self.scratch_sched = evs;
                 }
-                Src::Ixp => {
+                2 => {
                     let mut evs = std::mem::take(&mut self.scratch_ixp);
                     self.ixp.on_timer(t, &mut evs);
                     self.absorb_ixp_drain(&mut evs);
                     self.scratch_ixp = evs;
                 }
-                Src::Link => {
+                3 => {
                     let mut evs = std::mem::take(&mut self.scratch_link);
                     self.link.on_timer(t, &mut evs);
                     self.absorb_link_drain(&mut evs);
                     self.scratch_link = evs;
                 }
-                Src::Mbx => {
+                4 => {
                     let mut msgs = std::mem::take(&mut self.scratch_mbx);
                     self.mbx.on_timer(t, &mut msgs);
                     for m in msgs.drain(..) {
@@ -755,7 +779,7 @@ impl Platform {
                     }
                     self.scratch_mbx = msgs;
                 }
-                Src::Ack => {
+                5 => {
                     let mut msgs = std::mem::take(&mut self.scratch_ack);
                     self.ack_mbx.on_timer(t, &mut msgs);
                     for m in msgs.drain(..) {
@@ -763,8 +787,8 @@ impl Platform {
                     }
                     self.scratch_ack = msgs;
                 }
-                Src::Retx => self.pump_retransmits(),
-                Src::Accel => {
+                6 => self.pump_retransmits(),
+                7 => {
                     let mut evs = std::mem::take(&mut self.scratch_accel);
                     if let Some(acc) = self.accel.as_mut() {
                         acc.on_timer(t, &mut evs);
@@ -772,7 +796,7 @@ impl Platform {
                     self.absorb_accel_drain(&mut evs);
                     self.scratch_accel = evs;
                 }
-                Src::AccelMbx => {
+                8 => {
                     let mut msgs = std::mem::take(&mut self.scratch_accel_mbx);
                     self.accel_mbx.on_timer(t, &mut msgs);
                     for m in msgs.drain(..) {
@@ -780,7 +804,7 @@ impl Platform {
                     }
                     self.scratch_accel_mbx = msgs;
                 }
-                Src::None => unreachable!(),
+                _ => unreachable!(),
             }
         }
         self.now = t_end;
@@ -841,6 +865,7 @@ impl Platform {
         match ev {
             Ev::WireArrive(pkt) => {
                 let now = self.now;
+                self.horizon_dirty |= horizon::IXP;
                 let evs = self.ixp.rx_from_wire(now, pkt);
                 self.absorb_ixp(evs);
             }
@@ -882,6 +907,7 @@ impl Platform {
             Ctx::DriverService => {
                 self.driver_pending = false;
                 let now = self.now;
+                self.horizon_dirty |= horizon::LINK;
                 let pkts = self.link.host_take(now, usize::MAX);
                 for (flow, pkt) in pkts {
                     self.deliver_to_guest(flow, pkt);
@@ -900,6 +926,7 @@ impl Platform {
                     self.submit_background();
                 } else if duty > 0.0 {
                     let gap = self.hog_chunk * ((1.0 - duty) / duty);
+                    self.horizon_dirty |= horizon::QUEUE;
                     self.q.schedule(self.now + gap, Ev::BackgroundKick);
                 }
             }
@@ -923,6 +950,7 @@ impl Platform {
                 IxpEvent::Classified { flow, pkt, .. } => self.on_classified(flow, pkt),
                 IxpEvent::DeliverToHost { flow, pkt, .. } => {
                     let now = self.now;
+                    self.horizon_dirty |= horizon::LINK;
                     self.link.post_to_host(now, flow, pkt);
                 }
                 IxpEvent::BufferAlarm { flow, bytes, .. } => self.on_buffer_alarm(flow, bytes),
@@ -946,6 +974,7 @@ impl Platform {
                 }
                 PcieEvent::TxArrived { pkt, .. } => {
                     let now = self.now;
+                    self.horizon_dirty |= horizon::IXP;
                     let evs = self.ixp.tx_from_host(now, pkt);
                     self.absorb_ixp(evs);
                 }
@@ -1010,7 +1039,7 @@ impl Platform {
                         // still-pending retransmissions double as probes;
                         // their ack ends degraded mode.
                         self.degraded_suppressed += 1;
-                        self.trace.record(now, format!("coord: degraded, suppressed {m:?}"));
+                        self.trace.record(now, TraceEvent::DegradedSuppressed { msg: m });
                         continue;
                     }
                     let seq = tx.send(now, m);
@@ -1020,6 +1049,7 @@ impl Platform {
             };
             self.coord.messages_sent += 1;
             self.coord.bytes_sent += n as u64;
+            self.horizon_dirty |= horizon::RETX | horizon::MBX;
             self.mbx.send(now, buf);
         }
     }
@@ -1028,6 +1058,7 @@ impl Platform {
     /// traces give-ups and degraded-mode entry.
     fn pump_retransmits(&mut self) {
         let now = self.now;
+        self.horizon_dirty |= horizon::RETX | horizon::MBX;
         let Some(tx) = self.rel_tx.as_mut() else { return };
         let was_degraded = tx.is_degraded();
         let gave_up_before = tx.stats().gave_up;
@@ -1039,15 +1070,15 @@ impl Platform {
             let mut buf = Vec::new();
             let n = coord::wire::encode_framed(seq, &msg, &mut buf);
             self.coord.bytes_sent += n as u64;
-            self.trace.record(now, format!("coord: retransmit seq {seq}"));
+            self.trace.record(now, TraceEvent::Retransmit { seq });
             self.mbx.send(now, buf);
         }
         self.scratch_retx = retx;
         if gave_up > 0 {
-            self.trace.record(now, format!("coord: gave up on {gave_up} message(s)"));
+            self.trace.record(now, TraceEvent::GaveUp { count: gave_up });
         }
         if entered_degraded {
-            self.trace.record(now, "coord: entering degraded mode".to_owned());
+            self.trace.record(now, TraceEvent::EnteredDegraded);
         }
     }
 
@@ -1061,10 +1092,11 @@ impl Platform {
             let now = self.now;
             let mut ack = Vec::new();
             coord::wire::encode(&CoordMsg::Ack { seq }, &mut ack);
+            self.horizon_dirty |= horizon::ACK;
             self.ack_mbx.send(now, ack);
             if let Some(rx) = self.rel_rx.as_mut() {
                 if !rx.accept(seq) {
-                    self.trace.record(now, format!("coord: suppressed duplicate seq {seq}"));
+                    self.trace.record(now, TraceEvent::SuppressedDuplicate { seq });
                     return;
                 }
             }
@@ -1090,11 +1122,12 @@ impl Platform {
             return;
         };
         let now = self.now;
+        self.horizon_dirty |= horizon::RETX;
         let Some(tx) = self.rel_tx.as_mut() else { return };
         let was_degraded = tx.is_degraded();
         tx.on_ack(now, seq);
         if was_degraded {
-            self.trace.record(now, format!("coord: ack seq {seq}, degraded mode over"));
+            self.trace.record(now, TraceEvent::DegradedOver { seq });
         }
     }
 
@@ -1118,21 +1151,20 @@ impl Platform {
     fn handle_accel_delivery(&mut self, bytes: Vec<u8>) {
         let Ok((msg, _)) = coord::wire::decode(&bytes) else { return };
         let now = self.now;
+        self.horizon_dirty |= horizon::ACCEL;
         let Some(acc) = self.accel.as_mut() else { return };
         let mgr: &mut dyn ResourceManager = acc;
         match msg {
             CoordMsg::Tune { entity, delta, .. } => {
                 if mgr.apply_tune(now, entity, delta).is_ok() {
                     self.coord.tunes_applied += 1;
-                    self.trace
-                        .record(now, format!("accel tune {entity:?}: delta {delta}"));
+                    self.trace.record(now, TraceEvent::AccelTune { entity, delta });
                 }
             }
             CoordMsg::Trigger { entity, .. } => {
                 if mgr.apply_trigger(now, entity).is_ok() {
                     self.coord.triggers_applied += 1;
-                    self.trace
-                        .record(now, format!("accel trigger {entity:?}: batch preempt"));
+                    self.trace.record(now, TraceEvent::AccelTrigger { entity });
                 }
             }
             _ => {}
@@ -1184,17 +1216,18 @@ impl Platform {
                 let dom = DomId(local_key as u32);
                 if let Ok(w) = self.sched.weight(dom) {
                     let new = (w as i64 + delta as i64).clamp(1, 65_535) as u32;
+                    self.horizon_dirty |= horizon::SCHED;
                     let _ = self.sched.set_weight(dom, new);
                     self.coord.tunes_applied += 1;
                     let now = self.now;
-                    self.trace
-                        .record(now, format!("tune {dom}: weight {w} -> {new}"));
+                    self.trace.record(now, TraceEvent::Tune { dom, from: w, to: new });
                 }
             }
             Action::ApplyTune { island, local_key, delta } if island == IXP => {
                 let flow = FlowId(local_key as u32);
                 let cur = self.ixp.flow_threads(flow) as i64;
                 let new = (cur + delta as i64).clamp(1, 16) as u32;
+                self.horizon_dirty |= horizon::IXP;
                 self.ixp.set_flow_threads(flow, new);
                 self.coord.tunes_applied += 1;
             }
@@ -1212,6 +1245,7 @@ impl Platform {
                 let n = coord::wire::encode(&msg, &mut buf);
                 self.coord.bytes_sent += n as u64;
                 let now = self.now;
+                self.horizon_dirty |= horizon::ACCEL_MBX;
                 self.accel_mbx.send(now, buf);
             }
             Action::ApplyTrigger { island, local_key } if island == ACCEL => {
@@ -1223,6 +1257,7 @@ impl Platform {
                 let n = coord::wire::encode(&msg, &mut buf);
                 self.coord.bytes_sent += n as u64;
                 let now = self.now;
+                self.horizon_dirty |= horizon::ACCEL_MBX;
                 self.accel_mbx.send(now, buf);
             }
             Action::ApplyTrigger { island, local_key } if island == X86 => {
@@ -1233,6 +1268,7 @@ impl Platform {
                         self.sched.credit(dom));
                 }
                 let now = self.now;
+                self.horizon_dirty |= horizon::SCHED;
                 if let Ok(evs) = self.sched.boost_front(now, dom) {
                     self.absorb_sched(evs);
                     // §3.3: the x86 island translates the preemptive
@@ -1240,7 +1276,7 @@ impl Platform {
                     // runqueue promotion.
                     let _ = self.sched.grant_credit(dom, 100);
                     self.coord.triggers_applied += 1;
-                    self.trace.record(now, format!("trigger {dom}: boost + credit grant"));
+                    self.trace.record(now, TraceEvent::Trigger { dom });
                 }
             }
             _ => {}
@@ -1258,6 +1294,7 @@ impl Platform {
             self.vms[slot].inflight_rx += 1;
             self.delivered += 1;
             let now = self.now;
+            self.horizon_dirty |= horizon::IXP;
             let evs = self.ixp.host_ack(now, flow, 1);
             self.absorb_ixp(evs);
             self.route_into_guest(vm, pkt);
@@ -1286,6 +1323,7 @@ impl Platform {
             self.delivered += 1;
             if let Some(f) = flow {
                 let now = self.now;
+                self.horizon_dirty |= horizon::IXP;
                 let evs = self.ixp.host_ack(now, f, 1);
                 self.absorb_ixp(evs);
             }
@@ -1321,6 +1359,9 @@ impl Platform {
 
     fn take_sample(&mut self) {
         let now = self.now;
+        // `usage_snapshot` flushes accounting state and `set_cap` below
+        // can reshape the runqueue; both live behind the sched bit.
+        self.horizon_dirty |= horizon::SCHED;
         let snap = self.sched.usage_snapshot();
         let mut samples: Vec<DomainSample> = Vec::new();
         let mut total_pct = 0.0;
@@ -1367,6 +1408,7 @@ impl Platform {
                 .push(now, self.ixp.flow_queue_bytes(flow) as f64);
         }
         if now + self.sample_period <= self.run_end {
+            self.horizon_dirty |= horizon::QUEUE;
             self.q.schedule(now + self.sample_period, Ev::Sample);
         }
     }

@@ -1,25 +1,114 @@
-//! Time-ordered event queue with FIFO tie-breaking and cancellation.
+//! Time-ordered event queue with FIFO tie-breaking and cancellation,
+//! implemented as a hierarchical timing wheel.
+//!
+//! The queue is the innermost loop of every simulation in the workspace:
+//! the master platform loop, the IXP pipeline, the PCIe link, the
+//! coordination mailboxes and the accelerator all drain through one. At
+//! packet-rate event densities the classic `BinaryHeap + HashSet`
+//! implementation pays a hash insert on every `schedule` and a hash
+//! remove (plus a top sweep) on every `pop`; the wheel replaces both with
+//! O(1) array work:
+//!
+//! * **Near wheel** — `BUCKETS` fixed-width buckets of `BUCKET_WIDTH`
+//!   nanoseconds each, covering a ~1 ms window from the wheel cursor.
+//!   Scheduling into the window is a `Vec::push` into the bucket indexed
+//!   by `(time / width) % BUCKETS`; an occupancy bitmap finds the next
+//!   non-empty bucket in O(words) regardless of sparsity.
+//! * **Imminent heap** (`cur`) — the entries of the cursor's own bucket,
+//!   kept as a tiny binary heap ordered by `(time, seq)` so pops inside
+//!   one bucket window come out in exact global order.
+//! * **Overflow heap** (`far`) — events beyond the wheel span. As the
+//!   cursor advances, due overflow entries migrate into the wheel.
+//! * **Slab with generation tags** — payloads live in a slab; buckets and
+//!   heaps store 24-byte `(time, seq, slot, gen)` entries. An
+//!   [`EventKey`] packs `(slot, gen)`, so `cancel` is a bounds check and
+//!   a generation compare — no hashing — and a stale entry anywhere in
+//!   the structure is recognized by its generation mismatch and skipped.
 
 use crate::Nanos;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
+
+/// Number of near-wheel buckets (power of two).
+const BUCKETS: usize = 512;
+/// log2 of the bucket width in nanoseconds (2^11 = 2.048 µs).
+const WIDTH_SHIFT: u32 = 11;
+/// Bucket width in nanoseconds.
+const BUCKET_WIDTH: u64 = 1 << WIDTH_SHIFT;
+/// The wheel covers `[wheel_start, wheel_start + SPAN)` — just over 1 ms.
+const SPAN: u64 = (BUCKETS as u64) << WIDTH_SHIFT;
+/// Words in the bucket-occupancy bitmap.
+const WORDS: usize = BUCKETS / 64;
 
 /// An opaque handle identifying a scheduled event, usable to cancel it.
 ///
-/// Keys are unique for the lifetime of the queue that issued them.
+/// A key packs the event's slab slot and that slot's generation at
+/// scheduling time; once the event pops or is cancelled the generation
+/// advances, so stale keys are always rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventKey(u64);
+
+impl EventKey {
+    fn new(slot: u32, gen: u32) -> Self {
+        EventKey(((gen as u64) << 32) | slot as u64)
+    }
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// A 24-byte index entry stored in buckets and heaps; the payload stays
+/// in the slab. `(slot, gen)` identifies the slab record (a mismatch
+/// marks a tombstone), `(time, seq)` gives the deterministic total order.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    time: Nanos,
+    seq: u64,
+    slot: u32,
+    gen: u32,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+#[derive(Debug)]
+struct Slot<E> {
+    /// Bumped every time the slot is freed; an index entry whose `gen`
+    /// does not match is a tombstone.
+    gen: u32,
+    /// The event's scheduled time while occupied (drives the cached-head
+    /// check in `cancel`).
+    time: Nanos,
+    event: Option<E>,
+}
 
 /// A discrete-event queue ordered by time.
 ///
 /// Two events scheduled for the same instant pop in the order they were
 /// scheduled (FIFO), which keeps simulations deterministic. Events can be
-/// cancelled by [`EventKey`]; cancelled entries become tombstones that are
-/// swept from the top of the heap immediately (so [`peek_time`](Self::peek_time)
-/// is a read-only O(1) operation) and compacted wholesale once they
-/// outnumber live entries, keeping heavy `cancel()` traffic from degrading
-/// `pop`/`peek_time` over long runs.
+/// cancelled by [`EventKey`]. The head of the queue is maintained eagerly
+/// on every mutation, so [`peek_time`](Self::peek_time) is a read-only
+/// O(1) load — it is the cached event horizon the master loop polls every
+/// iteration. Cancelled entries become tombstones that are compacted
+/// wholesale once they outnumber live entries, keeping heavy `cancel()`
+/// traffic from degrading `pop` over long runs.
 ///
 /// # Example
 ///
@@ -35,34 +124,30 @@ pub struct EventKey(u64);
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    /// Seqs of entries still in `heap` that have not been cancelled.
-    live: HashSet<u64>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    /// Near-wheel buckets; the cursor's own bucket is always empty (its
+    /// entries live in `cur`).
+    near: Vec<Vec<Entry>>,
+    /// Bit i set ⇔ `near[i]` is non-empty.
+    occupied: [u64; WORDS],
+    /// Entries with `time < wheel_start + BUCKET_WIDTH` (including any
+    /// scheduled in the past), ordered by `(time, seq)`.
+    cur: BinaryHeap<Reverse<Entry>>,
+    /// Entries beyond the wheel span, ordered by `(time, seq)`.
+    far: BinaryHeap<Reverse<Entry>>,
+    /// Start of the cursor bucket's window; always a multiple of
+    /// `BUCKET_WIDTH`.
+    wheel_start: u64,
+    /// Index entries physically stored in `near` (incl. tombstones).
+    near_stored: usize,
+    /// Live (non-cancelled, non-popped) events.
+    len: usize,
+    /// Index entries physically stored anywhere (incl. tombstones).
+    stored: usize,
+    /// Cached minimum live time; `None` iff the queue is empty.
+    head: Option<Nanos>,
     next_seq: u64,
-}
-
-#[derive(Debug)]
-struct Entry<E> {
-    time: Nanos,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -75,8 +160,17 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            live: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            near: (0..BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: [0; WORDS],
+            cur: BinaryHeap::new(),
+            far: BinaryHeap::new(),
+            wheel_start: 0,
+            near_stored: 0,
+            len: 0,
+            stored: 0,
+            head: None,
             next_seq: 0,
         }
     }
@@ -86,82 +180,304 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, time: Nanos, event: E) -> EventKey {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { time, seq, event }));
-        self.live.insert(seq);
-        EventKey(seq)
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let rec = &mut self.slots[s as usize];
+                rec.time = time;
+                rec.event = Some(event);
+                s
+            }
+            None => {
+                self.slots.push(Slot { gen: 0, time, event: Some(event) });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
+        self.insert(Entry { time, seq, slot, gen });
+        self.len += 1;
+        self.head = Some(match self.head {
+            Some(h) => h.min(time),
+            None => time,
+        });
+        EventKey::new(slot, gen)
+    }
+
+    /// Routes an index entry to `cur`, a near bucket, or `far`.
+    fn insert(&mut self, e: Entry) {
+        self.stored += 1;
+        let t = e.time.0;
+        if t < self.wheel_start.saturating_add(BUCKET_WIDTH) {
+            self.cur.push(Reverse(e));
+        } else if t < self.wheel_start.saturating_add(SPAN) {
+            let idx = ((t >> WIDTH_SHIFT) as usize) & (BUCKETS - 1);
+            self.near[idx].push(e);
+            self.occupied[idx / 64] |= 1 << (idx % 64);
+            self.near_stored += 1;
+        } else {
+            self.far.push(Reverse(e));
+        }
     }
 
     /// Cancels a previously scheduled event. Returns `true` if the event was
     /// still pending (it will never be popped), `false` if it had already
     /// popped or was cancelled before.
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        if !self.live.remove(&key.0) {
+        let s = key.slot() as usize;
+        if s >= self.slots.len() {
             return false;
         }
-        self.drop_cancelled();
+        let rec = &mut self.slots[s];
+        if rec.gen != key.gen() || rec.event.is_none() {
+            return false;
+        }
+        let time = rec.time;
+        rec.event = None;
+        rec.gen = rec.gen.wrapping_add(1);
+        self.free.push(key.slot());
+        self.len -= 1;
+        if self.len == 0 {
+            self.reset_storage();
+        } else if Some(time) == self.head {
+            self.fix_head();
+        }
         self.maybe_compact();
         true
     }
 
     /// The time of the earliest pending (non-cancelled) event.
     ///
-    /// The heap top is kept live eagerly (on `cancel`/`pop`), so this is a
-    /// read-only O(1) peek — it is the cached event horizon the master loop
-    /// polls every iteration.
+    /// The head is maintained eagerly on `schedule`/`cancel`/`pop`, so this
+    /// is a read-only O(1) load.
     pub fn peek_time(&self) -> Option<Nanos> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+        self.head
     }
 
     /// Removes and returns the earliest pending event with its time.
     pub fn pop(&mut self) -> Option<(Nanos, E)> {
-        self.heap.pop().map(|Reverse(e)| {
-            self.live.remove(&e.seq);
-            self.drop_cancelled();
-            (e.time, e.event)
-        })
+        if self.len == 0 {
+            return None;
+        }
+        self.advance_to_head();
+        loop {
+            let Reverse(e) = self.cur.pop().expect("len > 0: a live entry is reachable");
+            self.stored -= 1;
+            let rec = &mut self.slots[e.slot as usize];
+            if rec.gen != e.gen {
+                continue; // tombstone
+            }
+            let event = rec.event.take().expect("generation-matched slot is occupied");
+            rec.gen = rec.gen.wrapping_add(1);
+            self.free.push(e.slot);
+            self.len -= 1;
+            if self.len == 0 {
+                self.reset_storage();
+            } else {
+                self.fix_head();
+            }
+            return Some((e.time, event));
+        }
     }
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.len
     }
 
     /// `true` if no pending events remain.
     pub fn is_empty(&self) -> bool {
-        self.live.is_empty()
+        self.len == 0
     }
 
-    /// Entries physically stored, including cancelled tombstones that have
-    /// not been compacted yet (diagnostics; tests assert the compaction
-    /// bound through this).
+    /// Index entries physically stored, including cancelled tombstones that
+    /// have not been swept or compacted yet (diagnostics; tests assert the
+    /// compaction bound through this).
     pub fn storage_len(&self) -> usize {
-        self.heap.len()
+        self.stored
     }
 
-    /// Restores the invariant that the heap top, if any, is live.
-    fn drop_cancelled(&mut self) {
-        while let Some(Reverse(e)) = self.heap.peek() {
-            if self.live.contains(&e.seq) {
-                break;
+    /// Recomputes the cached head after the previous minimum was removed.
+    /// Requires `len > 0`.
+    fn fix_head(&mut self) {
+        self.advance_to_head();
+        self.head = self.cur.peek().map(|Reverse(e)| e.time);
+        debug_assert!(self.head.is_some(), "len > 0 but no live entry found");
+    }
+
+    /// Advances the wheel until the top of `cur` is the live global
+    /// minimum. Requires `len > 0` on entry.
+    fn advance_to_head(&mut self) {
+        loop {
+            // Sweep tombstones off the imminent heap's top.
+            while let Some(Reverse(e)) = self.cur.peek() {
+                if self.slots[e.slot as usize].gen == e.gen {
+                    return; // live minimum found
+                }
+                self.cur.pop();
+                self.stored -= 1;
             }
-            self.heap.pop();
+            // `cur` is empty: move the window to the next candidate —
+            // the nearest occupied bucket or the overflow top, whichever
+            // is earlier.
+            while let Some(Reverse(e)) = self.far.peek() {
+                if self.slots[e.slot as usize].gen == e.gen {
+                    break;
+                }
+                self.far.pop();
+                self.stored -= 1;
+            }
+            let bucket = (self.near_stored > 0).then(|| self.next_bucket());
+            let far_t = self.far.peek().map(|Reverse(e)| e.time.0);
+            match (bucket, far_t) {
+                (Some((idx, start)), far) => {
+                    if far.map_or(true, |f| start <= f) {
+                        // Jump the cursor to that bucket and drain it
+                        // into `cur`, dropping tombstones on the way.
+                        self.wheel_start = start;
+                        self.drain_bucket(idx);
+                    } else {
+                        self.wheel_start =
+                            (far.expect("checked") >> WIDTH_SHIFT) << WIDTH_SHIFT;
+                    }
+                    self.migrate_far();
+                }
+                (None, Some(f)) => {
+                    // Everything pending is past the wheel span: jump the
+                    // window to the overflow top and pull due entries in.
+                    self.wheel_start = (f >> WIDTH_SHIFT) << WIDTH_SHIFT;
+                    self.migrate_far();
+                }
+                (None, None) => {
+                    debug_assert_eq!(self.len, 0, "live entries but empty storage");
+                    return;
+                }
+            }
         }
     }
 
-    /// Rebuilds the heap without tombstones once they outnumber live
+    /// Finds the nearest occupied bucket at or after the cursor,
+    /// returning `(bucket index, window start time)`. Requires
+    /// `near_stored > 0`.
+    fn next_bucket(&self) -> (usize, u64) {
+        let cursor = ((self.wheel_start >> WIDTH_SHIFT) as usize) & (BUCKETS - 1);
+        // Scan the circular bitmap starting at the cursor. The cursor's
+        // own bucket is always empty (its entries live in `cur`), but a
+        // set bit there after wrap-around means a full revolution.
+        let mut dist = usize::MAX;
+        for w in 0..=WORDS {
+            let wi = (cursor / 64 + w) % WORDS;
+            let mut word = self.occupied[wi];
+            if w == 0 {
+                word &= !0u64 << (cursor % 64); // ignore bits before cursor
+            }
+            if word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                let idx = wi * 64 + bit;
+                // The cursor's own bucket is never occupied, so a set bit
+                // always lies strictly ahead (mod BUCKETS).
+                dist = (idx + BUCKETS - cursor) % BUCKETS;
+                break;
+            }
+        }
+        debug_assert_ne!(dist, usize::MAX, "near_stored > 0 but bitmap empty");
+        let start = self.wheel_start + ((dist as u64) << WIDTH_SHIFT);
+        (((cursor + dist) % BUCKETS), start)
+    }
+
+    /// Moves one bucket's entries into `cur`, dropping tombstones.
+    fn drain_bucket(&mut self, idx: usize) {
+        let mut bucket = std::mem::take(&mut self.near[idx]);
+        self.near_stored -= bucket.len();
+        self.occupied[idx / 64] &= !(1 << (idx % 64));
+        for e in bucket.drain(..) {
+            if self.slots[e.slot as usize].gen == e.gen {
+                self.cur.push(Reverse(e));
+            } else {
+                self.stored -= 1;
+            }
+        }
+        // Hand the (empty, but allocated) Vec back so steady-state bucket
+        // traffic reuses its capacity.
+        self.near[idx] = bucket;
+    }
+
+    /// Pulls overflow entries that now fall inside the wheel span into
+    /// the wheel (or `cur`).
+    fn migrate_far(&mut self) {
+        let end = self.wheel_start.saturating_add(SPAN);
+        while let Some(Reverse(e)) = self.far.peek() {
+            if e.time.0 >= end {
+                break;
+            }
+            let Reverse(e) = self.far.pop().expect("peeked");
+            self.stored -= 1;
+            if self.slots[e.slot as usize].gen == e.gen {
+                self.insert(e); // re-routes into `cur` or a near bucket
+            }
+        }
+    }
+
+    /// Drops every stored index entry; valid only when `len == 0` (all
+    /// remaining entries are tombstones). Keeps bucket capacity.
+    fn reset_storage(&mut self) {
+        debug_assert_eq!(self.len, 0);
+        self.head = None;
+        self.cur.clear();
+        self.far.clear();
+        if self.near_stored > 0 {
+            for w in 0..WORDS {
+                let mut word = self.occupied[w];
+                while word != 0 {
+                    let bit = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    self.near[w * 64 + bit].clear();
+                }
+            }
+        }
+        self.occupied = [0; WORDS];
+        self.near_stored = 0;
+        self.stored = 0;
+    }
+
+    /// Rebuilds the index without tombstones once they outnumber live
     /// entries. The O(n) rebuild is amortized: it frees at least half the
     /// storage, so each cancelled entry is moved O(1) times on average.
     fn maybe_compact(&mut self) {
-        let dead = self.heap.len() - self.live.len();
-        if dead <= self.live.len() || self.heap.len() < 64 {
+        let dead = self.stored - self.len;
+        if dead <= self.len || self.stored < 64 {
             return;
         }
-        let live = &self.live;
-        let entries: Vec<Reverse<Entry<E>>> = std::mem::take(&mut self.heap)
-            .into_iter()
-            .filter(|Reverse(e)| live.contains(&e.seq))
-            .collect();
-        self.heap = BinaryHeap::from(entries);
+        let mut live: Vec<Entry> = Vec::with_capacity(self.len);
+        let keep = |slots: &[Slot<E>], e: &Entry| slots[e.slot as usize].gen == e.gen;
+        for Reverse(e) in self.cur.drain() {
+            if keep(&self.slots, &e) {
+                live.push(e);
+            }
+        }
+        for Reverse(e) in self.far.drain() {
+            if keep(&self.slots, &e) {
+                live.push(e);
+            }
+        }
+        for w in 0..WORDS {
+            let mut word = self.occupied[w];
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                let idx = w * 64 + bit;
+                for e in std::mem::take(&mut self.near[idx]) {
+                    if keep(&self.slots, &e) {
+                        live.push(e);
+                    }
+                }
+            }
+        }
+        self.occupied = [0; WORDS];
+        self.near_stored = 0;
+        self.stored = 0;
+        for e in live {
+            self.insert(e);
+        }
+        debug_assert_eq!(self.stored, self.len);
     }
 }
 
@@ -261,7 +577,7 @@ mod tests {
         let a = q.schedule(Nanos(1), 'a');
         q.schedule(Nanos(2), 'b');
         q.cancel(a);
-        // peek_time takes &self: the cancelled top was swept eagerly.
+        // peek_time takes &self: the head cache was fixed eagerly.
         let q_ref = &q;
         assert_eq!(q_ref.peek_time(), Some(Nanos(2)));
     }
@@ -277,5 +593,55 @@ mod tests {
         q.schedule(Nanos(6), 4);
         assert_eq!(q.pop(), Some((Nanos(6), 4)));
         assert_eq!(q.pop(), Some((Nanos(7), 3)));
+    }
+
+    #[test]
+    fn far_events_migrate_through_the_wheel() {
+        // Spread events across the cur window, the near wheel, the
+        // overflow heap, and multiple wheel wraps.
+        let mut q = EventQueue::new();
+        let times: Vec<u64> = (0..500)
+            .map(|i| (i * 2_654_435_761u64) % 50_000_000) // up to 50 ms
+            .collect();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Nanos(t), i);
+        }
+        let mut sorted: Vec<(u64, usize)> =
+            times.iter().copied().enumerate().map(|(i, t)| (t, i)).collect();
+        sorted.sort();
+        for (t, i) in sorted {
+            assert_eq!(q.pop(), Some((Nanos(t), i)));
+        }
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.storage_len(), 0);
+    }
+
+    #[test]
+    fn schedule_in_the_past_still_pops_first() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(10_000_000), 'f'); // advances the wheel on pop
+        q.schedule(Nanos(1), 'p');
+        assert_eq!(q.pop(), Some((Nanos(1), 'p')));
+        // After the wheel advanced to 10 ms, a past-time schedule still
+        // comes out ahead of the far event.
+        assert_eq!(q.peek_time(), Some(Nanos(10_000_000)));
+        q.schedule(Nanos(5), 'q');
+        assert_eq!(q.peek_time(), Some(Nanos(5)));
+        assert_eq!(q.pop(), Some((Nanos(5), 'q')));
+        assert_eq!(q.pop(), Some((Nanos(10_000_000), 'f')));
+    }
+
+    #[test]
+    fn keys_from_reused_slots_do_not_alias() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Nanos(1), 'a');
+        assert_eq!(q.pop(), Some((Nanos(1), 'a')));
+        // 'b' reuses slot 0 with a bumped generation; the stale key for
+        // 'a' must not cancel it.
+        let b = q.schedule(Nanos(2), 'b');
+        assert!(!q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(b));
+        assert_eq!(q.pop(), None);
     }
 }

@@ -71,7 +71,11 @@ impl OnlineStats {
             return;
         }
         if self.n == 0 {
-            *self = other.clone();
+            // Extend in place; replacing `*self` with a clone of `other`
+            // would discard this accumulator's storage for no gain.
+            self.n = other.n;
+            self.mean = other.mean;
+            self.m2 = other.m2;
             return;
         }
         let n = (self.n + other.n) as f64;

@@ -1,22 +1,24 @@
 //! Lightweight bounded event tracing for debugging simulations.
 //!
 //! A [`TraceBuffer`] is a fixed-capacity ring of timestamped records.
-//! Components record human-readable events cheaply; when something goes
-//! wrong, the most recent history is available without having logged the
-//! entire run. The platform uses one to expose its coordination-decision
-//! history.
+//! The record type is generic: components on a hot path record compact
+//! event values (the platform uses a plain enum) and rendering to text
+//! happens lazily, only when something actually reads the history — so
+//! steady-state tracing costs a ring-slot write and no allocation. The
+//! default record type is `String` for ad-hoc debugging.
 
 use crate::Nanos;
 use std::collections::VecDeque;
+use std::fmt::Display;
 
-/// A bounded ring of `(time, message)` trace records.
+/// A bounded ring of `(time, record)` trace entries.
 ///
 /// # Example
 ///
 /// ```
 /// use simcore::{trace::TraceBuffer, Nanos};
 ///
-/// let mut t = TraceBuffer::new(2);
+/// let mut t: TraceBuffer = TraceBuffer::new(2);
 /// t.record(Nanos::from_millis(1), "first");
 /// t.record(Nanos::from_millis(2), "second");
 /// t.record(Nanos::from_millis(3), "third"); // evicts "first"
@@ -24,8 +26,8 @@ use std::collections::VecDeque;
 /// assert_eq!(msgs, vec!["second", "third"]);
 /// ```
 #[derive(Debug, Clone, Default)]
-pub struct TraceBuffer {
-    records: VecDeque<(Nanos, String)>,
+pub struct TraceBuffer<T = String> {
+    records: VecDeque<(Nanos, T)>,
     capacity: usize,
     recorded: u64,
 }
@@ -36,7 +38,7 @@ pub struct TraceBuffer {
 /// it is actually used.
 const PREALLOC_LIMIT: usize = 4096;
 
-impl TraceBuffer {
+impl<T> TraceBuffer<T> {
     /// Creates a buffer holding at most `capacity` records (0 disables
     /// recording entirely). Pre-allocation is capped at
     /// [`PREALLOC_LIMIT`](self) records; capacities beyond that grow
@@ -49,20 +51,22 @@ impl TraceBuffer {
         }
     }
 
-    /// Appends a record, evicting the oldest when full.
-    pub fn record(&mut self, now: Nanos, message: impl Into<String>) {
+    /// Appends a record, evicting the oldest when full. Once the ring has
+    /// either filled its pre-allocated capacity or wrapped, this performs
+    /// no heap allocation for record types that own no heap data.
+    pub fn record(&mut self, now: Nanos, event: impl Into<T>) {
         if self.capacity == 0 {
             return;
         }
         if self.records.len() == self.capacity {
             self.records.pop_front();
         }
-        self.records.push_back((now, message.into()));
+        self.records.push_back((now, event.into()));
         self.recorded += 1;
     }
 
     /// The retained records, oldest first.
-    pub fn iter(&self) -> impl Iterator<Item = &(Nanos, String)> {
+    pub fn iter(&self) -> impl Iterator<Item = &(Nanos, T)> {
         self.records.iter()
     }
 
@@ -81,6 +85,13 @@ impl TraceBuffer {
         self.recorded
     }
 
+    /// Clears retained records (the total count is preserved).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+impl<T: Display> TraceBuffer<T> {
     /// Renders the retained records, one per line.
     pub fn dump(&self) -> String {
         let mut out = String::new();
@@ -88,11 +99,6 @@ impl TraceBuffer {
             out.push_str(&format!("[{t}] {m}\n"));
         }
         out
-    }
-
-    /// Clears retained records (the total count is preserved).
-    pub fn clear(&mut self) {
-        self.records.clear();
     }
 }
 
@@ -102,7 +108,7 @@ mod tests {
 
     #[test]
     fn ring_evicts_oldest() {
-        let mut t = TraceBuffer::new(3);
+        let mut t: TraceBuffer = TraceBuffer::new(3);
         for i in 0..5u64 {
             t.record(Nanos(i), format!("e{i}"));
         }
@@ -114,7 +120,7 @@ mod tests {
 
     #[test]
     fn zero_capacity_disables() {
-        let mut t = TraceBuffer::new(0);
+        let mut t: TraceBuffer = TraceBuffer::new(0);
         t.record(Nanos(1), "x");
         assert!(t.is_empty());
         assert_eq!(t.recorded(), 0);
@@ -122,7 +128,7 @@ mod tests {
 
     #[test]
     fn dump_is_line_per_record() {
-        let mut t = TraceBuffer::new(8);
+        let mut t: TraceBuffer = TraceBuffer::new(8);
         t.record(Nanos::from_millis(1), "alpha");
         t.record(Nanos::from_millis(2), "beta");
         let dump = t.dump();
@@ -134,7 +140,7 @@ mod tests {
     #[test]
     fn capacity_beyond_prealloc_limit_still_retains_everything() {
         let cap = PREALLOC_LIMIT + 100;
-        let mut t = TraceBuffer::new(cap);
+        let mut t: TraceBuffer = TraceBuffer::new(cap);
         for i in 0..(cap as u64 + 50) {
             t.record(Nanos(i), "e");
         }
@@ -147,10 +153,29 @@ mod tests {
 
     #[test]
     fn clear_keeps_total() {
-        let mut t = TraceBuffer::new(2);
+        let mut t: TraceBuffer = TraceBuffer::new(2);
         t.record(Nanos(1), "a");
         t.clear();
         assert!(t.is_empty());
         assert_eq!(t.recorded(), 1);
+    }
+
+    #[test]
+    fn value_records_round_trip() {
+        // Non-string record types work end to end; rendering happens
+        // only in `dump`.
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        struct Ev(u32);
+        impl std::fmt::Display for Ev {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "ev#{}", self.0)
+            }
+        }
+        let mut t: TraceBuffer<Ev> = TraceBuffer::new(2);
+        t.record(Nanos(1), Ev(7));
+        t.record(Nanos(2), Ev(8));
+        t.record(Nanos(3), Ev(9));
+        assert_eq!(t.iter().map(|&(_, e)| e).collect::<Vec<_>>(), [Ev(8), Ev(9)]);
+        assert!(t.dump().contains("ev#9"));
     }
 }

@@ -149,6 +149,90 @@ fn event_queue_interleaving_matches_reference_model() {
 }
 
 #[test]
+fn event_queue_matches_sorted_vec_reference_across_horizons() {
+    // Differential test against a naive sorted-vec model, with offsets
+    // drawn from three horizon classes that each stress a different tier
+    // of the timing wheel: inside one bucket, across the near wheel's
+    // span, and far beyond it (the overflow heap). Pops drag the wheel's
+    // cursor forward so migrations between tiers happen mid-sequence.
+    let ops = vec_of(
+        zip3(Gen::u64_in(0, 5), Gen::u64_in(0, 2), Gen::u64_in(0, u64::MAX / 2)),
+        1,
+        400,
+    );
+    check(
+        "event_queue_matches_sorted_vec_reference_across_horizons",
+        &ops,
+        |ops| {
+            let mut q = EventQueue::new();
+            // Reference model: a flat vec of (time, seq, id), popped by
+            // scanning for the (time, seq) minimum.
+            let mut model: Vec<(u64, u64, usize)> = Vec::new();
+            let mut keys = Vec::new();
+            let mut seq: u64 = 0;
+            let mut now: u64 = 0;
+            for &(op, class, raw) in ops {
+                let ref_min = model.iter().min().copied();
+                st_assert_eq!(
+                    q.peek_time(),
+                    ref_min.map(|(t, _, _)| Nanos(t)),
+                    "peek reports the reference minimum"
+                );
+                st_assert_eq!(q.len(), model.len());
+                match op {
+                    0..=2 => {
+                        let horizon = match class {
+                            0 => raw % 2_048,       // within one wheel bucket
+                            1 => raw % 1_100_000,   // across the near wheel
+                            _ => raw % 100_000_000, // far overflow
+                        };
+                        let t = now + horizon;
+                        keys.push(q.schedule(Nanos(t), keys.len()));
+                        model.push((t, seq, keys.len() - 1));
+                        seq += 1;
+                    }
+                    3 => {
+                        if model.is_empty() {
+                            continue;
+                        }
+                        let pick = (raw % model.len() as u64) as usize;
+                        let (_, _, id) = model.swap_remove(pick);
+                        st_assert!(q.cancel(keys[id]), "cancel of a live entry succeeds");
+                        st_assert!(!q.cancel(keys[id]), "double cancel is rejected");
+                    }
+                    _ => match ref_min {
+                        None => st_assert!(q.pop().is_none(), "empty queue has nothing to pop"),
+                        Some(m) => {
+                            let (t, _, id) = m;
+                            let (pt, pid) = q.pop().expect("reference has a pending entry");
+                            st_assert_eq!(
+                                (pt, pid),
+                                (Nanos(t), id),
+                                "pop follows (time, seq) order"
+                            );
+                            let pos = model.iter().position(|e| *e == m).unwrap();
+                            model.swap_remove(pos);
+                            now = t;
+                        }
+                    },
+                }
+            }
+            model.sort();
+            for &(t, _, id) in &model {
+                st_assert_eq!(
+                    q.pop(),
+                    Some((Nanos(t), id)),
+                    "drain follows the sorted reference"
+                );
+            }
+            st_assert!(q.pop().is_none(), "both empty after drain");
+            st_assert_eq!(q.storage_len(), 0, "drained queue retains no storage");
+            Ok(())
+        },
+    );
+}
+
+#[test]
 fn rng_streams_are_reproducible() {
     check("rng_streams_are_reproducible", &Gen::u64_any(), |&seed| {
         let mut a = SimRng::new(seed);
