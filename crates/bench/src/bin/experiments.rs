@@ -47,6 +47,7 @@ fn selection(which: &str) -> Option<Vec<&'static str>> {
         "inference" => Some(vec!["i1_inference_batching", "i2_batch_preemption"]),
         "i1" => Some(vec!["i1_inference_batching"]),
         "i2" => Some(vec!["i2_batch_preemption"]),
+        "a1" => Some(vec!["a1_price_of_anarchy"]),
         id if ids.contains(&id) => Some(vec![ids[ids.iter().position(|x| *x == id).unwrap()]]),
         _ => None,
     }

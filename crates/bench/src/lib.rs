@@ -20,8 +20,8 @@ use coord::PolicyKind;
 use metrics::Table;
 use pcie::NotifyMode;
 use platform::{
-    FaultProfile, InferenceScenario, Jitter, MplayerScenario, Platform, PlatformBuilder,
-    ReliableConfig, RubisScenario, RunReport,
+    AdversarySpec, FaultProfile, InferenceScenario, Jitter, MplayerScenario, Platform,
+    PlatformBuilder, PolicerConfig, ReliableConfig, RubisScenario, RunReport,
 };
 use simcore::Nanos;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -982,6 +982,141 @@ pub fn reliability_r2(seed: u64) -> Table {
 }
 
 // ----------------------------------------------------------------------
+// Adversarial tenants — price of anarchy
+// ----------------------------------------------------------------------
+
+fn run_rubis_adversarial(
+    policy: PolicyKind,
+    scenario: RubisScenario,
+    seed: u64,
+    advs: &[AdversarySpec],
+    defenses: Option<PolicerConfig>,
+) -> RunReport {
+    let mut b = PlatformBuilder::new()
+        .seed(seed)
+        .policy(policy)
+        .adversaries(advs.to_vec());
+    if let Some(cfg) = defenses {
+        b = b.coord_defenses(cfg);
+    }
+    let mut sim = b.build_rubis(scenario);
+    timed_run(&mut sim, sim_secs(RUBIS_SECS))
+}
+
+/// The strategy mix for `n` adversarial tenants: inflater, spammer,
+/// free-rider, repeating.
+fn adversary_mix(n: usize) -> Vec<AdversarySpec> {
+    (0..n)
+        .map(|i| match i % 3 {
+            0 => AdversarySpec::inflate(),
+            1 => AdversarySpec::spam(),
+            _ => AdversarySpec::free_ride(),
+        })
+        .collect()
+}
+
+/// A1 (adversarial): price-of-anarchy sweep. Each row adds strategic
+/// tenants (inflater / Trigger-spammer / free-rider mix) to the RUBiS
+/// platform and compares five worlds on mean response time:
+///
+/// * **honest** — coordinated, zero extra tenants (computed once;
+///   repeated per row so the CSV is self-contained);
+/// * **honest+load** — the same tenant population behaving honestly:
+///   every extra tenant runs its CPU load but games nothing. This is the
+///   cooperative counterfactual of the same game, and the baseline the
+///   recovery metric uses — a tenant's fair-share consumption is
+///   legitimate, so only the damage its *strategic behavior* adds on top
+///   counts as the gap;
+/// * **non-coop** — no coordination policy at all, adversaries present:
+///   the non-cooperative equilibrium;
+/// * **coord** — the request-type policy running undefended while the
+///   adversaries game the same Tune/Trigger channel;
+/// * **coord+def** — the same policy with [`PolicerConfig`] defenses
+///   (per-entity rate limits + reputation-weighted discounting).
+///
+/// The *price of anarchy* column is `non-coop / honest+load` — worst
+/// equilibrium over cooperative outcome for the same set of players —
+/// and *recovered %* is [`summary::gap_recovered`] × 100 over
+/// (honest+load, coord, coord+def): the share of the gap the gaming
+/// opens (within coordinated runs) that the defenses claw back.
+/// Adversarial congestion is heavy-tailed, so every cell averages
+/// `A1_SEEDS` independent seeds; counter columns are per-run means from
+/// the defended runs.
+pub fn anarchy_a1(seed: u64) -> Table {
+    const A1_SEEDS: u64 = 3;
+    let scenario = RubisScenario::read_write_mix(24);
+    let mut t = Table::new(
+        "A1 — price of anarchy vs strategic tenants (RUBiS mean ms)",
+        &[
+            "adversaries",
+            "honest",
+            "honest+load",
+            "non-coop",
+            "coord",
+            "coord+def",
+            "PoA",
+            "recovered %",
+            "throttled",
+            "discounted",
+        ],
+    );
+    let honest: f64 = (seed..seed + A1_SEEDS)
+        .map(|s| mean_response_ms(&run_rubis(PolicyKind::RequestType, scenario, s)))
+        .sum::<f64>()
+        / A1_SEEDS as f64;
+    for n in [0usize, 1, 2, 4] {
+        let advs = adversary_mix(n);
+        // The cooperative counterfactual: same tenant count, all honest
+        // (free-riders consume CPU but send nothing).
+        let well_behaved: Vec<AdversarySpec> =
+            (0..n).map(|_| AdversarySpec::free_ride()).collect();
+        let (mut load, mut nc, mut co, mut de) = (0.0, 0.0, 0.0, 0.0);
+        let (mut throttled, mut discounted) = (0u64, 0u64);
+        for s in seed..seed + A1_SEEDS {
+            load += mean_response_ms(&run_rubis_adversarial(
+                PolicyKind::RequestType,
+                scenario,
+                s,
+                &well_behaved,
+                None,
+            ));
+            let noncoop = run_rubis_adversarial(PolicyKind::None, scenario, s, &advs, None);
+            let coord =
+                run_rubis_adversarial(PolicyKind::RequestType, scenario, s, &advs, None);
+            let defended = run_rubis_adversarial(
+                PolicyKind::RequestType,
+                scenario,
+                s,
+                &advs,
+                Some(PolicerConfig::default()),
+            );
+            nc += mean_response_ms(&noncoop);
+            co += mean_response_ms(&coord);
+            de += mean_response_ms(&defended);
+            throttled += defended.coord.throttled;
+            discounted += defended.coord.discounted;
+        }
+        let k = A1_SEEDS as f64;
+        let (load, nc, co, de) = (load / k, nc / k, co / k, de / k);
+        let poa = if load > 0.0 { nc / load } else { 0.0 };
+        let recovered = summary::gap_recovered(load, co, de);
+        t.row_owned(vec![
+            n.to_string(),
+            fmt(honest),
+            fmt(load),
+            fmt(nc),
+            fmt(co),
+            fmt(de),
+            format!("{poa:.2}"),
+            format!("{:.1}", recovered * 100.0),
+            (throttled / A1_SEEDS).to_string(),
+            (discounted / A1_SEEDS).to_string(),
+        ]);
+    }
+    t
+}
+
+// ----------------------------------------------------------------------
 // Inference — the third scheduling island
 // ----------------------------------------------------------------------
 
@@ -1117,6 +1252,7 @@ pub fn experiment_ids() -> &'static [&'static str] {
         "a4_ixp_threads",
         "a5_trigger_rate",
         "a6_accounting_mode",
+        "a1_price_of_anarchy",
         "p1_power_capping",
         "s1_fabric_scalability",
         "r1_loss_sweep",
@@ -1155,6 +1291,7 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<Vec<(String, Table)>> {
         "a4_ixp_threads" => one("a4_ixp_threads", ablation_a4(seed)),
         "a5_trigger_rate" => one("a5_trigger_rate", ablation_a5(seed)),
         "a6_accounting_mode" => one("a6_accounting_mode", ablation_a6(seed)),
+        "a1_price_of_anarchy" => one("a1_price_of_anarchy", anarchy_a1(seed)),
         "p1_power_capping" => one("p1_power_capping", extension_p1(seed)),
         "s1_fabric_scalability" => one("s1_fabric_scalability", extension_s1(seed)),
         "r1_loss_sweep" => one("r1_loss_sweep", reliability_r1(seed)),

@@ -55,6 +55,24 @@ impl RubisOut {
     }
 }
 
+/// Fraction of the QoS gap that strategic tenants open — measured as a
+/// mean-response-time increase over the honest baseline — which the
+/// controller's defenses claw back:
+///
+/// `recovered = (adversarial − defended) / (adversarial − honest)`
+///
+/// 0 means the defenses changed nothing, 1 means they fully restored the
+/// honest baseline, and values above 1 mean the defended run beat it.
+/// When the adversaries opened no gap (`adversarial ≤ honest`) there is
+/// nothing to recover and the fraction is defined as 0.
+pub fn gap_recovered(honest: f64, adversarial: f64, defended: f64) -> f64 {
+    let gap = adversarial - honest;
+    if gap <= f64::EPSILON * honest.abs().max(1.0) {
+        return 0.0;
+    }
+    (adversarial - defended) / gap
+}
+
 /// One inference tenant's accelerator summary as the calibration tools
 /// compare it: client-observed p99 plus the device-side batching view.
 #[derive(Debug, Clone, Default)]
@@ -172,5 +190,22 @@ pub fn drive_sched_until(s: &mut CreditScheduler, t_end: Nanos) {
         }
         evs.clear();
         s.on_timer(t, &mut evs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::gap_recovered;
+
+    #[test]
+    fn gap_recovered_spans_the_defined_range() {
+        // Defenses restored half of a 100 → 300 ms degradation.
+        assert!((gap_recovered(100.0, 300.0, 200.0) - 0.5).abs() < 1e-12);
+        // Full restoration and no restoration.
+        assert!((gap_recovered(100.0, 300.0, 100.0) - 1.0).abs() < 1e-12);
+        assert!(gap_recovered(100.0, 300.0, 300.0).abs() < 1e-12);
+        // No gap opened: nothing to recover, even if "defended" is lower.
+        assert_eq!(gap_recovered(100.0, 100.0, 50.0), 0.0);
+        assert_eq!(gap_recovered(100.0, 90.0, 50.0), 0.0);
     }
 }

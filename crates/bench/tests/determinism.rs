@@ -3,8 +3,18 @@
 //! whether the (independent) experiment units run on one worker or many.
 //! Runs under a short smoke cap — determinism does not depend on the
 //! simulated duration.
+//!
+//! Also the chaos differential: a platform built with an explicit
+//! [`ChaosPlan::none()`] must be bit-identical to one that never heard
+//! of chaos, across every island type — the chaos hooks must cost
+//! nothing (not even an RNG draw) when the schedule is empty.
 
 use metrics::Table;
+use platform::{
+    ChaosPlan, InferenceScenario, MplayerScenario, PlatformBuilder, PolicyKind, RubisScenario,
+    RunReport,
+};
+use simcore::Nanos;
 use simtest::json::Json;
 
 /// Renders the merged tables the way the `experiments` binary persists
@@ -36,6 +46,78 @@ fn serial_and_parallel_experiments_are_byte_identical() {
             "seed {seed}: parallel run diverged from serial"
         );
         assert!(!serial.is_empty());
+    }
+}
+
+/// Every counter and float a run reports, flattened to exact bits.
+fn fingerprint(r: &RunReport) -> Vec<u64> {
+    let mut v = vec![
+        r.rubis.completed,
+        r.rubis.throughput.to_bits(),
+        r.coord.messages_sent,
+        r.coord.bytes_sent,
+        r.coord.tunes_applied,
+        r.coord.triggers_applied,
+        r.coord.rejected,
+        r.coord.throttled,
+        r.coord.discounted,
+        r.net.delivered,
+        r.net.guest_drops,
+        r.total_cpu_percent.to_bits(),
+    ];
+    for p in &r.players {
+        v.push(p.frames);
+        v.push(p.achieved_fps.to_bits());
+    }
+    for t in &r.accel.tenants {
+        v.push(t.submitted);
+        v.push(t.completed);
+        v.push(t.batches);
+        v.push(t.preemptions);
+    }
+    v
+}
+
+#[test]
+fn chaos_none_is_bit_identical_to_a_chaos_free_build() {
+    let dur = Nanos::from_secs(2);
+    for seed in [bench::SEED, 7, 1234] {
+        let rubis = |chaos: Option<ChaosPlan>| {
+            let mut b = PlatformBuilder::new().seed(seed).policy(PolicyKind::RequestType);
+            if let Some(plan) = chaos {
+                b = b.chaos(plan);
+            }
+            fingerprint(&b.build_rubis(RubisScenario::read_write_mix(8)).run(dur))
+        };
+        let mplayer = |chaos: Option<ChaosPlan>| {
+            let mut b = PlatformBuilder::new().seed(seed).policy(PolicyKind::BufferTrigger);
+            if let Some(plan) = chaos {
+                b = b.chaos(plan);
+            }
+            fingerprint(&b.build_mplayer(MplayerScenario::trigger_setup()).run(dur))
+        };
+        let inference = |chaos: Option<ChaosPlan>| {
+            let mut b = PlatformBuilder::new().seed(seed).policy(PolicyKind::InferenceBatch);
+            if let Some(plan) = chaos {
+                b = b.chaos(plan);
+            }
+            fingerprint(&b.build_inference(InferenceScenario::mixed_tenants()).run(dur))
+        };
+        assert_eq!(
+            rubis(None),
+            rubis(Some(ChaosPlan::none())),
+            "seed {seed}: ChaosPlan::none() perturbed a rubis run"
+        );
+        assert_eq!(
+            mplayer(None),
+            mplayer(Some(ChaosPlan::none())),
+            "seed {seed}: ChaosPlan::none() perturbed an mplayer run"
+        );
+        assert_eq!(
+            inference(None),
+            inference(Some(ChaosPlan::none())),
+            "seed {seed}: ChaosPlan::none() perturbed an inference run"
+        );
     }
 }
 

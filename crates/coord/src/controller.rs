@@ -10,6 +10,7 @@
 //! platform dispatches to the appropriate [`ResourceManager`]
 //! (crate::ResourceManager).
 
+use crate::limits::{EntityPolicer, PolicerConfig};
 use crate::{CoordError, CoordMsg, EntityId, IslandId, IslandKind, Registry};
 use simcore::Nanos;
 use std::collections::BTreeMap;
@@ -48,6 +49,10 @@ pub struct ControllerStats {
     pub triggers: u64,
     /// Messages that failed validation.
     pub rejected: u64,
+    /// Tune/Trigger requests dropped by the adversary policer.
+    pub throttled: u64,
+    /// Admitted tunes whose delta the policer discounted.
+    pub discounted: u64,
 }
 
 /// The global coordination controller (the Dom0 role).
@@ -61,6 +66,7 @@ pub struct Controller {
     last_error: Option<CoordError>,
     audit: std::collections::VecDeque<(Nanos, CoordMsg)>,
     audit_cap: usize,
+    policer: Option<EntityPolicer>,
 }
 
 impl Default for Controller {
@@ -79,6 +85,7 @@ impl Controller {
             last_error: None,
             audit: std::collections::VecDeque::new(),
             audit_cap: 256,
+            policer: None,
         }
     }
 
@@ -87,6 +94,25 @@ impl Controller {
         self.audit_cap = cap;
         self.audit.truncate(cap);
         self
+    }
+
+    /// Enables the adversary defenses: per-entity Tune/Trigger rate
+    /// limiting and reputation-weighted delta discounting. Off by
+    /// default — an undefended controller behaves exactly as before.
+    pub fn with_defenses(mut self, cfg: PolicerConfig) -> Self {
+        self.set_defenses(cfg);
+        self
+    }
+
+    /// Enables the adversary defenses in place (see
+    /// [`with_defenses`](Self::with_defenses)).
+    pub fn set_defenses(&mut self, cfg: PolicerConfig) {
+        self.policer = Some(EntityPolicer::new(cfg));
+    }
+
+    /// The active policer, if defenses are enabled.
+    pub fn policer(&self) -> Option<&EntityPolicer> {
+        self.policer.as_ref()
     }
 
     /// Processes one coordination message, returning the island-local
@@ -100,7 +126,7 @@ impl Controller {
             }
             self.audit.push_back((now, msg));
         }
-        match self.try_handle(msg) {
+        match self.try_handle(now, msg) {
             Ok(actions) => actions,
             Err(e) => {
                 self.stats.rejected += 1;
@@ -110,7 +136,7 @@ impl Controller {
         }
     }
 
-    fn try_handle(&mut self, msg: CoordMsg) -> Result<Vec<Action>, CoordError> {
+    fn try_handle(&mut self, now: Nanos, msg: CoordMsg) -> Result<Vec<Action>, CoordError> {
         match msg {
             CoordMsg::RegisterIsland { island, kind } => {
                 if self.islands.insert(island, kind).is_none() {
@@ -131,6 +157,21 @@ impl Controller {
                 Ok(Vec::new())
             }
             CoordMsg::Tune { entity, delta, target } => {
+                let delta = match self.policer.as_mut() {
+                    None => delta,
+                    Some(p) => match p.police_tune(now, entity, delta) {
+                        None => {
+                            self.stats.throttled += 1;
+                            return Ok(Vec::new());
+                        }
+                        Some(applied) => {
+                            if applied != delta {
+                                self.stats.discounted += 1;
+                            }
+                            applied
+                        }
+                    },
+                };
                 let actions =
                     self.resolve(entity, target, |island, local_key| Action::ApplyTune {
                         island,
@@ -141,6 +182,12 @@ impl Controller {
                 Ok(actions)
             }
             CoordMsg::Trigger { entity, target } => {
+                if let Some(p) = self.policer.as_mut() {
+                    if !p.police_trigger(now, entity) {
+                        self.stats.throttled += 1;
+                        return Ok(Vec::new());
+                    }
+                }
                 let actions =
                     self.resolve(entity, target, |island, local_key| Action::ApplyTrigger {
                         island,
@@ -329,5 +376,53 @@ mod tests {
         let (mut c, _) = setup();
         assert!(c.handle(Nanos::ZERO, CoordMsg::Ack { seq: 3 }).is_empty());
         assert_eq!(c.stats().rejected, 0);
+    }
+
+    #[test]
+    fn defended_controller_throttles_trigger_spam() {
+        let (mut c, e) = setup();
+        c.set_defenses(PolicerConfig::default());
+        let mut applied = 0;
+        for i in 0..100u64 {
+            let actions =
+                c.handle(Nanos::from_millis(i * 10), CoordMsg::Trigger { entity: e, target: None });
+            applied += actions.len();
+        }
+        assert!(applied < 100, "spam passed untouched");
+        assert!(c.stats().throttled > 0);
+        assert_eq!(c.stats().triggers as usize, applied);
+        assert_eq!(c.stats().rejected, 0, "policing is not a validation failure");
+    }
+
+    #[test]
+    fn defended_controller_discounts_inflated_tunes() {
+        let (mut c, e) = setup();
+        c.set_defenses(PolicerConfig::default());
+        let mut last_delta = i32::MAX;
+        for i in 0..20u64 {
+            let actions = c.handle(
+                Nanos::from_secs(i),
+                CoordMsg::Tune { entity: e, delta: 512, target: None },
+            );
+            if let Some(Action::ApplyTune { delta, .. }) = actions.first() {
+                last_delta = *delta;
+            }
+        }
+        assert_eq!(last_delta, 0, "saturated inflater still moves weight");
+        assert!(c.stats().discounted > 0);
+        let net = c.policer().unwrap().stats_for(e).net_applied;
+        let cap = PolicerConfig::default().displacement_cap;
+        assert!(net <= cap, "net displacement {net} exceeds the cap");
+    }
+
+    #[test]
+    fn undefended_controller_is_unchanged() {
+        let (mut c, e) = setup();
+        for i in 0..100u64 {
+            c.handle(Nanos::from_millis(i), CoordMsg::Tune { entity: e, delta: 512, target: None });
+        }
+        assert_eq!(c.stats().tunes, 100);
+        assert_eq!(c.stats().throttled, 0);
+        assert_eq!(c.stats().discounted, 0);
     }
 }

@@ -37,7 +37,10 @@
 //!   retransmission with exponential backoff, duplicate suppression, and
 //!   a degraded-mode signal for graceful policy fallback (see
 //!   `pcie::FaultProfile` for the faults they survive).
-//! * [`TokenBucket`] — rate limiting for coordination traffic.
+//! * [`TokenBucket`] — rate limiting for coordination traffic — and
+//!   [`EntityPolicer`] — the controller-side defense against strategic
+//!   tenants (per-entity rate limits plus reputation-weighted Tune
+//!   discounting; enable with [`Controller::with_defenses`]).
 //! * [`hierarchy`] — the paper's future-work extension: a two-level
 //!   coordination fabric (zone controllers + root directory) for
 //!   large-scale multi-island platforms.
@@ -75,7 +78,7 @@ pub use controller::{Action, Controller, ControllerStats};
 pub use entity::{EntityId, Registry};
 pub use error::CoordError;
 pub use island::{IslandId, IslandKind, ResourceManager};
-pub use limits::{OscillationDetector, TokenBucket};
+pub use limits::{EntityPolicer, MeterStats, OscillationDetector, PolicerConfig, TokenBucket};
 pub use msg::CoordMsg;
 pub use policy::{
     BufferTriggerPolicy, CoordinationPolicy, HysteresisPolicy, InferenceBatchPolicy, NullPolicy,

@@ -1,10 +1,23 @@
-//! Coordination-traffic rate limiting.
+//! Coordination-traffic rate limiting and adversary policing.
 //!
 //! Triggers are preemptive and therefore disruptive to colocated entities
 //! (Table 3 measures the interference). A token bucket bounds how often a
 //! policy may fire them; ablation A5 sweeps the rate.
+//!
+//! The Tune/Trigger interface also invites *strategic* play (Legrand &
+//! Touati's non-cooperative scheduling analysis): a tenant that inflates
+//! its demand deltas or spams Triggers captures resources that honest
+//! tenants paid for. [`EntityPolicer`] is the controller-side defense:
+//! per-entity token buckets bound request *rates*, and a
+//! reputation-weighted discount bounds cumulative *displacement* — an
+//! entity whose past tunes all pushed one way has spent its budget and
+//! sees later requests scaled toward zero, while honest oscillating
+//! corrections keep their net displacement small and pass ~unscathed.
+//! Experiment A1 measures the recovered price of anarchy.
 
+use crate::EntityId;
 use simcore::Nanos;
+use std::collections::BTreeMap;
 
 /// A token bucket: `rate` tokens per second, holding at most `burst`.
 ///
@@ -146,6 +159,205 @@ impl OscillationDetector {
     }
 }
 
+/// Configuration for the controller-side adversary defenses.
+///
+/// Rates are per entity. `displacement_cap` bounds the *net* signed tune
+/// displacement an entity may accumulate; reputation falls quadratically
+/// as an entity approaches the cap — mild on the small transient
+/// displacements honest policies carry, crushing near the cap — and
+/// discounts the entity's requested deltas toward zero (see
+/// [`EntityPolicer::police_tune`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicerConfig {
+    /// Sustained Tune admissions per second per entity.
+    pub tune_rate_per_sec: f64,
+    /// Tune burst capacity per entity.
+    pub tune_burst: f64,
+    /// Sustained Trigger admissions per second per entity.
+    pub trigger_rate_per_sec: f64,
+    /// Trigger burst capacity per entity.
+    pub trigger_burst: f64,
+    /// Bound on |net applied tune displacement| per entity.
+    pub displacement_cap: i64,
+}
+
+impl Default for PolicerConfig {
+    /// Permissive enough for the honest request-type policy (which sends
+    /// tens of tunes per second per entity but oscillates, keeping net
+    /// displacement near zero) and tight enough to cap a monotone
+    /// inflater at `displacement_cap` and a Trigger spammer at 2/s. The
+    /// tune rate is deliberately loose: inflaters are caught by the
+    /// displacement cap, not the rate, so a tight tune rate would only
+    /// punish honest traffic.
+    fn default() -> Self {
+        PolicerConfig {
+            tune_rate_per_sec: 32.0,
+            tune_burst: 64.0,
+            trigger_rate_per_sec: 2.0,
+            trigger_burst: 4.0,
+            // Half the honest policies' ±512 swing: an alternating honest
+            // sender bounces its net inside ±cap and passes at face value
+            // (only its first displacement is clamped), while a monotone
+            // inflater saturates at a weight displacement too small to
+            // outschedule honest tenants.
+            displacement_cap: 256,
+        }
+    }
+}
+
+/// Per-entity policing counters (diagnostics and property tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MeterStats {
+    /// Requests admitted (possibly discounted).
+    pub admitted: u64,
+    /// Requests dropped by the rate limiter.
+    pub throttled: u64,
+    /// Admitted tunes whose applied delta differed from the request.
+    pub discounted: u64,
+    /// Net signed tune displacement applied so far.
+    pub net_applied: i64,
+}
+
+#[derive(Debug, Clone)]
+struct Meter {
+    tunes: TokenBucket,
+    triggers: TokenBucket,
+    stats: MeterStats,
+}
+
+/// Per-entity Tune rate-limiting plus reputation-weighted request
+/// discounting — the coordination stack's defense against strategic
+/// tenants.
+///
+/// # Example
+///
+/// ```
+/// use coord::{EntityId, EntityPolicer, PolicerConfig};
+/// use simcore::Nanos;
+///
+/// let mut p = EntityPolicer::new(PolicerConfig::default());
+/// // An honest ±64 oscillation passes essentially at face value…
+/// assert_eq!(p.police_tune(Nanos::ZERO, EntityId(1), 64), Some(64));
+/// // …while a monotone inflater is discounted toward zero as its net
+/// // displacement approaches the cap.
+/// let mut t = Nanos::ZERO;
+/// for _ in 0..200 {
+///     t += Nanos::from_secs(1);
+///     p.police_tune(t, EntityId(2), 512);
+/// }
+/// assert!(p.stats_for(EntityId(2)).net_applied <= PolicerConfig::default().displacement_cap);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EntityPolicer {
+    cfg: PolicerConfig,
+    meters: BTreeMap<u32, Meter>,
+}
+
+impl EntityPolicer {
+    /// Creates a policer with no per-entity history.
+    ///
+    /// # Panics
+    /// Panics if any rate or burst in `cfg` is not positive (via
+    /// [`TokenBucket::new`]).
+    pub fn new(cfg: PolicerConfig) -> Self {
+        // Validate eagerly so a bad config fails at build time, not at
+        // the first message.
+        let _ = TokenBucket::new(cfg.tune_rate_per_sec, cfg.tune_burst);
+        let _ = TokenBucket::new(cfg.trigger_rate_per_sec, cfg.trigger_burst);
+        EntityPolicer { cfg, meters: BTreeMap::new() }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> PolicerConfig {
+        self.cfg
+    }
+
+    fn meter(&mut self, entity: EntityId) -> &mut Meter {
+        let cfg = self.cfg;
+        self.meters.entry(entity.0).or_insert_with(|| Meter {
+            tunes: TokenBucket::new(cfg.tune_rate_per_sec, cfg.tune_burst),
+            triggers: TokenBucket::new(cfg.trigger_rate_per_sec, cfg.trigger_burst),
+            stats: MeterStats::default(),
+        })
+    }
+
+    /// Polices one Tune request. Returns `None` when the entity's rate
+    /// bucket is empty (request dropped), otherwise `Some(applied)` —
+    /// the requested delta scaled by the entity's reputation and clamped
+    /// so its net displacement stays inside `±displacement_cap`.
+    pub fn police_tune(&mut self, now: Nanos, entity: EntityId, delta: i32) -> Option<i32> {
+        let cap = self.cfg.displacement_cap.max(1);
+        let m = self.meter(entity);
+        if !m.tunes.try_take(now) {
+            m.stats.throttled += 1;
+            return None;
+        }
+        // Reputation falls quadratically with net displacement already
+        // applied: monotone pushers approach zero weight while the small
+        // transient displacements honest policies carry are barely
+        // touched. Deltas moving the net *toward* zero restore the budget
+        // and pass at face value — otherwise truncation bias would slowly
+        // walk an honest oscillator's net up to the cap.
+        let net = m.stats.net_applied;
+        let toward_zero = (net > 0 && delta < 0) || (net < 0 && delta > 0);
+        let scaled = if toward_zero {
+            delta as i64
+        } else {
+            let used = net.unsigned_abs().min(cap as u64) as f64 / cap as f64;
+            let rep = 1.0 - used * used;
+            (delta as f64 * rep) as i64
+        };
+        let applied = scaled.clamp(-cap - m.stats.net_applied, cap - m.stats.net_applied);
+        m.stats.net_applied += applied;
+        m.stats.admitted += 1;
+        if applied != delta as i64 {
+            m.stats.discounted += 1;
+        }
+        Some(applied as i32)
+    }
+
+    /// Polices one Trigger request. Returns false when the entity's
+    /// Trigger bucket is empty (request dropped).
+    pub fn police_trigger(&mut self, now: Nanos, entity: EntityId) -> bool {
+        let m = self.meter(entity);
+        if m.triggers.try_take(now) {
+            m.stats.admitted += 1;
+            true
+        } else {
+            m.stats.throttled += 1;
+            false
+        }
+    }
+
+    /// The entity's current reputation in `[0, 1]` (1 = full weight).
+    pub fn reputation(&self, entity: EntityId) -> f64 {
+        let cap = self.cfg.displacement_cap.max(1);
+        self.meters.get(&entity.0).map_or(1.0, |m| {
+            let used =
+                m.stats.net_applied.unsigned_abs().min(cap as u64) as f64 / cap as f64;
+            1.0 - used * used
+        })
+    }
+
+    /// Per-entity counters (zero if the entity was never seen).
+    pub fn stats_for(&self, entity: EntityId) -> MeterStats {
+        self.meters.get(&entity.0).map_or_else(MeterStats::default, |m| m.stats)
+    }
+
+    /// Counters summed across every entity (net displacements included,
+    /// so opposing entities can cancel).
+    pub fn totals(&self) -> MeterStats {
+        let mut t = MeterStats::default();
+        for m in self.meters.values() {
+            t.admitted += m.stats.admitted;
+            t.throttled += m.stats.throttled;
+            t.discounted += m.stats.discounted;
+            t.net_applied += m.stats.net_applied;
+        }
+        t
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,5 +449,84 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_rate_panics() {
         let _ = TokenBucket::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn policer_caps_monotone_inflater_at_displacement_cap() {
+        let mut p = EntityPolicer::new(PolicerConfig::default());
+        let e = EntityId(7);
+        let mut t = Nanos::ZERO;
+        for _ in 0..100 {
+            t += Nanos::from_secs(1); // slow enough to never hit the rate limit
+            p.police_tune(t, e, 512);
+        }
+        let s = p.stats_for(e);
+        assert_eq!(s.throttled, 0);
+        let cap = PolicerConfig::default().displacement_cap;
+        assert!(s.net_applied <= cap, "net {} over cap", s.net_applied);
+        assert!(s.discounted > 0, "inflater was never discounted");
+        assert!(p.reputation(e) < 0.1, "saturated inflater keeps reputation");
+        // Once saturated, further requests are admitted at zero effect.
+        assert_eq!(p.police_tune(t + Nanos::from_secs(1), e, 512), Some(0));
+    }
+
+    #[test]
+    fn policer_leaves_honest_oscillation_nearly_untouched() {
+        let mut p = EntityPolicer::new(PolicerConfig::default());
+        let e = EntityId(1);
+        let mut t = Nanos::ZERO;
+        for i in 0..40 {
+            t += Nanos::from_secs(1);
+            let want = if i % 2 == 0 { 64 } else { -64 };
+            let got = p.police_tune(t, e, want).expect("honest tenant throttled");
+            assert!(
+                (got - want).abs() <= want.abs() / 8,
+                "honest delta {want} mangled to {got}"
+            );
+        }
+        assert!(p.reputation(e) > 0.9);
+        assert_eq!(p.stats_for(e).throttled, 0);
+    }
+
+    #[test]
+    fn policer_rate_limits_trigger_spam() {
+        let cfg = PolicerConfig::default();
+        let mut p = EntityPolicer::new(cfg);
+        let e = EntityId(9);
+        let mut admitted = 0;
+        // 20/s for 10 s against a 2/s, burst-4 bucket.
+        for i in 0..200u64 {
+            if p.police_trigger(Nanos::from_millis(i * 50), e) {
+                admitted += 1;
+            }
+        }
+        assert!(admitted <= 4 + 2 * 10 + 1, "spam admitted {admitted} triggers");
+        assert!(p.stats_for(e).throttled > 0);
+        let s = p.stats_for(e);
+        assert_eq!(s.admitted + s.throttled, 200);
+    }
+
+    #[test]
+    fn policer_negative_displacement_is_capped_symmetrically() {
+        let mut p = EntityPolicer::new(PolicerConfig::default());
+        let e = EntityId(3);
+        let mut t = Nanos::ZERO;
+        for _ in 0..100 {
+            t += Nanos::from_secs(1);
+            p.police_tune(t, e, -512);
+        }
+        let s = p.stats_for(e);
+        let cap = PolicerConfig::default().displacement_cap;
+        assert!(s.net_applied >= -cap, "net {} under -cap", s.net_applied);
+        assert!(p.reputation(e) < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn policer_rejects_nonpositive_rates_eagerly() {
+        let _ = EntityPolicer::new(PolicerConfig {
+            tune_rate_per_sec: 0.0,
+            ..PolicerConfig::default()
+        });
     }
 }

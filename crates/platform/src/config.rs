@@ -2,11 +2,13 @@
 
 use crate::world::Platform;
 use accel::AccelConfig;
-use coord::{PolicyKind, ReliableConfig};
+use coord::{PolicerConfig, PolicyKind, ReliableConfig};
 use ixp::IxpConfig;
 use pcie::{FaultProfile, LinkConfig, NotifyMode};
 use power::Strategy;
 use simcore::Nanos;
+use simtest::chaos::ChaosPlan;
+use workloads::adversary::AdversarySpec;
 use workloads::inference::{InferenceConfig, TenantSpec};
 use workloads::mplayer::{Source, StreamSpec};
 use workloads::rubis::{Mix, RubisConfig};
@@ -289,6 +291,9 @@ pub struct PlatformBuilder {
     pub(crate) precise_accounting: bool,
     pub(crate) fault_profile: FaultProfile,
     pub(crate) reliable: Option<ReliableConfig>,
+    pub(crate) chaos: ChaosPlan,
+    pub(crate) defenses: Option<PolicerConfig>,
+    pub(crate) adversaries: Vec<AdversarySpec>,
 }
 
 impl Default for PlatformBuilder {
@@ -318,6 +323,9 @@ impl PlatformBuilder {
             precise_accounting: true,
             fault_profile: FaultProfile::none(),
             reliable: None,
+            chaos: ChaosPlan::none(),
+            defenses: None,
+            adversaries: Vec::new(),
         }
     }
 
@@ -425,6 +433,34 @@ impl PlatformBuilder {
     /// duplicate suppression, and degraded-mode send suppression.
     pub fn reliable_delivery(mut self, cfg: ReliableConfig) -> Self {
         self.reliable = Some(cfg);
+        self
+    }
+
+    /// Installs a chaos plan the master event loop consults at its three
+    /// perturbation hook points (delayed event dispatch, forced Trigger
+    /// preemption at accelerator batch boundaries, coordination-send
+    /// jitter bursts). The default, [`ChaosPlan::none()`], is a
+    /// constant-time no-op at every hook, so a chaos-off build stays
+    /// byte-identical to one built without this call.
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = plan;
+        self
+    }
+
+    /// Enables the controller-side adversary defenses (per-entity Tune
+    /// rate limiting and reputation-weighted delta discounting).
+    pub fn coord_defenses(mut self, cfg: PolicerConfig) -> Self {
+        self.defenses = Some(cfg);
+        self
+    }
+
+    /// Adds strategic tenants (experiment A1): each spec becomes one
+    /// extra guest VM that hogs CPU and plays its strategy against the
+    /// coordination channel. Adversarial messages traverse the real
+    /// mailbox and are policed by [`coord_defenses`](Self::coord_defenses)
+    /// when enabled.
+    pub fn adversaries(mut self, specs: Vec<AdversarySpec>) -> Self {
+        self.adversaries = specs;
         self
     }
 

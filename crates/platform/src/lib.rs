@@ -60,7 +60,9 @@ pub use world::Platform;
 // Re-export the types callers need to configure scenarios without extra
 // imports.
 pub use accel::AccelConfig;
-pub use coord::{PolicyKind, ReliableConfig};
+pub use coord::{PolicerConfig, PolicyKind, ReliableConfig};
+pub use simtest::chaos::{ChaosPlan, Perturbation};
+pub use workloads::adversary::{AdversarySpec, Strategy as AdversaryStrategy};
 pub use workloads::inference::{InferenceConfig, TenantSpec};
 pub use pcie::{FaultProfile, Jitter};
 pub use power::Strategy as PowerStrategy;

@@ -103,6 +103,12 @@ pub struct CoordReport {
     pub triggers_applied: u64,
     /// Messages the controller rejected.
     pub rejected: u64,
+    /// Messages the controller's defenses refused outright (rate-limit
+    /// exhausted); zero unless defenses are enabled.
+    pub throttled: u64,
+    /// Tune messages the defenses admitted at a reputation-reduced delta;
+    /// zero unless defenses are enabled.
+    pub discounted: u64,
     /// Message copies dropped in the channel by fault injection (both
     /// directions, acks included).
     pub channel_drops: u64,

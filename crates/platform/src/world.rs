@@ -23,7 +23,9 @@ use simcore::stats::Series;
 use crate::trace_event::TraceEvent;
 use simcore::trace::TraceBuffer;
 use simcore::{EventQueue, Nanos, SimRng};
+use simtest::chaos::ChaosPlan;
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use workloads::adversary::Adversary;
 use workloads::inference::InferenceModel;
 use workloads::mplayer::{Player, Source};
 use workloads::rubis::{RequestType, RubisModel, Tier, TierDemands};
@@ -53,6 +55,8 @@ pub(crate) enum Ev {
     /// A guest-accepted inference request finishes its DMA into the
     /// accelerator's submission queue.
     AccelDma { req: u64 },
+    /// A strategic tenant's next coordination message is due.
+    Adversary(usize),
     /// Periodic measurement sample.
     Sample,
 }
@@ -72,6 +76,8 @@ pub(crate) enum Ctx {
     Decode { player: usize },
     /// Dom0 background work chunk finished.
     Background,
+    /// An adversarial tenant VM's CPU-hog chunk finished.
+    AdvLoad { slot: usize },
     /// Dom0 finished applying a coordination message.
     CoordApply { msg: CoordMsg },
     /// A tenant VM finished post-processing a completed inference batch
@@ -207,6 +213,17 @@ pub struct Platform {
     pub(crate) rel_tx: Option<ReliableSender>,
     pub(crate) rel_rx: Option<ReliableReceiver>,
     pub(crate) degraded_suppressed: u64,
+    /// Chaos schedule consulted at the loop's hook points. The default
+    /// [`ChaosPlan::none()`] makes every hook an early-return with zero
+    /// state change, keeping chaos-off runs byte-identical.
+    pub(crate) chaos: ChaosPlan,
+    /// Baseline coordination-channel latency, kept so the chaos jitter
+    /// hook can restore it after a per-message override.
+    pub(crate) coord_latency: Nanos,
+    /// Strategic tenants emitting through the real coordination channel.
+    pub(crate) adversaries: Vec<Adversary>,
+    /// Count of chaos-forced Triggers (also rotates the victim queue).
+    pub(crate) chaos_triggers: u64,
     pub(crate) controller: Controller,
     pub(crate) policy: Box<dyn CoordinationPolicy>,
     pub(crate) q: EventQueue<Ev>,
@@ -300,6 +317,9 @@ impl Platform {
         sched_cfg.precise_accounting = b.precise_accounting;
         let sched = CreditScheduler::new(sched_cfg);
         let mut controller = Controller::new();
+        if let Some(cfg) = b.defenses {
+            controller.set_defenses(cfg);
+        }
         controller.handle(
             Nanos::ZERO,
             CoordMsg::RegisterIsland { island: X86, kind: IslandKind::GeneralPurpose },
@@ -330,6 +350,10 @@ impl Platform {
             rel_tx: b.reliable.map(ReliableSender::new),
             rel_rx: b.reliable.map(|_| ReliableReceiver::new()),
             degraded_suppressed: 0,
+            chaos: b.chaos.clone(),
+            coord_latency: b.coord_latency,
+            adversaries: Vec::new(),
+            chaos_triggers: 0,
             controller,
             policy: Box::new(NullPolicy),
             q: EventQueue::new(),
@@ -431,6 +455,21 @@ impl Platform {
         self.vms.len() - 1
     }
 
+    /// Gives each configured adversarial tenant its own guest VM (default
+    /// weight, no network flow) and binds the strategy to that VM's
+    /// coordination entity. VM indices start at 100 to stay clear of any
+    /// workload's numbering. With no adversaries configured this is a
+    /// no-op, so default builds are untouched.
+    fn attach_adversaries(&mut self, b: &PlatformBuilder) {
+        for (i, spec) in b.adversaries.iter().enumerate() {
+            let vm_index = 100 + i as u32;
+            let slot = self.add_vm(&format!("adv{}", i + 1), 256, vm_index, false);
+            let entity = self.vms[slot].entity;
+            self.adversaries
+                .push(Adversary::new(entity, Some(X86), spec.strategy, Nanos::ZERO));
+        }
+    }
+
     pub(crate) fn new_rubis(b: PlatformBuilder, scenario: RubisScenario) -> Platform {
         let mut ixp_cfg = b.ixp_overrides.clone().unwrap_or_default();
         ixp_cfg.dpi = true;
@@ -481,6 +520,7 @@ impl Platform {
             app_vm: 2,
             db_vm: 3,
         });
+        p.attach_adversaries(&b);
         p
     }
 
@@ -522,6 +562,7 @@ impl Platform {
             | PolicyKind::InferenceBatch
             | PolicyKind::None => Box::new(NullPolicy),
         };
+        p.attach_adversaries(&b);
         p
     }
 
@@ -591,6 +632,7 @@ impl Platform {
             accel_tenants,
             queue_delays: ResponseStats::new(),
         });
+        p.attach_adversaries(&b);
         p
     }
 
@@ -750,8 +792,16 @@ impl Platform {
             // queue, sched, ixp, link, mbx, ack, retx, accel, accel_mbx.
             match src {
                 0 => {
-                    let (_, ev) = self.q.pop().expect("peeked");
-                    self.handle_ev(ev);
+                    if let Some(d) = self.chaos.delay_event() {
+                        // Chaos: push this timer fire out by a bounded
+                        // delay instead of dispatching it. The schedule is
+                        // finite, so the event always runs eventually.
+                        let (_, ev) = self.q.pop().expect("peeked");
+                        self.q.schedule(t + d, ev);
+                    } else {
+                        let (_, ev) = self.q.pop().expect("peeked");
+                        self.handle_ev(ev);
+                    }
                 }
                 1 => {
                     let mut evs = std::mem::take(&mut self.scratch_sched);
@@ -792,6 +842,11 @@ impl Platform {
                     let mut evs = std::mem::take(&mut self.scratch_accel);
                     if let Some(acc) = self.accel.as_mut() {
                         acc.on_timer(t, &mut evs);
+                    }
+                    if self.chaos.force_trigger() {
+                        // Chaos: preempt a tenant queue at this batch
+                        // boundary, as a hostile Trigger would.
+                        self.chaos_force_trigger();
                     }
                     self.absorb_accel_drain(&mut evs);
                     self.scratch_accel = evs;
@@ -855,6 +910,19 @@ impl Platform {
         for _ in 0..streams {
             self.submit_background();
         }
+        // Adversaries: arm each emission clock (fixed arithmetic schedule,
+        // no RNG draws — zero adversaries leaves every stream untouched)
+        // and start the per-VM CPU hog.
+        for i in 0..self.adversaries.len() {
+            let a = &self.adversaries[i];
+            if let (0, Some(t)) = (a.sent(), a.next_at()) {
+                self.horizon_dirty |= horizon::QUEUE;
+                self.q.schedule(t, Ev::Adversary(i));
+            }
+            if let Some(slot) = self.slot_by_vm(self.adversaries[i].entity().0) {
+                self.submit_adv_load(slot);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -886,8 +954,61 @@ impl Platform {
                 }
             }
             Ev::AccelDma { req } => self.accel_dma_done(req),
+            Ev::Adversary(i) => self.adversary_act(i),
             Ev::Sample => self.take_sample(),
         }
+    }
+
+    /// An adversary's emission clock fired: forward its message through
+    /// the real coordination channel (so it competes with honest traffic
+    /// and meets the controller's defenses) and rearm the clock.
+    fn adversary_act(&mut self, i: usize) {
+        let now = self.now;
+        let Some(a) = self.adversaries.get_mut(i) else { return };
+        let Some(msg) = a.emit(now) else { return };
+        let next = a.next_at();
+        self.send_coord(vec![msg]);
+        if let Some(t) = next {
+            if t <= self.run_end {
+                self.horizon_dirty |= horizon::QUEUE;
+                self.q.schedule(t, Ev::Adversary(i));
+            }
+        }
+    }
+
+    /// One CPU-hog chunk on an adversary VM; the completion context
+    /// resubmits, so the VM consumes whatever share its weight buys for
+    /// the whole run.
+    fn submit_adv_load(&mut self, slot: usize) {
+        let chunk = self.hog_chunk;
+        let dom = self.vms[slot].dom;
+        let tag = self.alloc_tag(Ctx::AdvLoad { slot });
+        // A CPU-bound guest gets no I/O boost; its share is bought purely
+        // by weight — exactly the knob the inflater strategy games.
+        self.submit(dom, Burst::user(chunk, tag), WakeMode::Plain);
+    }
+
+    /// Chaos hook: preempt one accelerator tenant queue as a hostile
+    /// Trigger would, rotating the victim across successive firings.
+    fn chaos_force_trigger(&mut self) {
+        let now = self.now;
+        let Some(inf) = self.inf.as_ref() else { return };
+        if inf.accel_tenants.is_empty() {
+            return;
+        }
+        let idx = (self.chaos_triggers as usize) % inf.accel_tenants.len();
+        self.chaos_triggers += 1;
+        let tenant = inf.accel_tenants[idx];
+        let Some(acc) = self.accel.as_mut() else { return };
+        self.horizon_dirty |= horizon::ACCEL;
+        let mgr: &mut dyn ResourceManager = acc;
+        let _ = mgr.apply_trigger(now, EntityId(tenant.0));
+    }
+
+    /// Perturbations the chaos plan has injected so far (0 for
+    /// [`ChaosPlan::none()`], which is the default).
+    pub fn chaos_injected(&self) -> u64 {
+        self.chaos.injected()
     }
 
     pub(crate) fn absorb_sched(&mut self, mut evs: Vec<SchedEvent>) {
@@ -930,6 +1051,7 @@ impl Platform {
                     self.q.schedule(self.now + gap, Ev::BackgroundKick);
                 }
             }
+            Ctx::AdvLoad { slot } => self.submit_adv_load(slot),
             Ctx::CoordApply { msg } => {
                 self.coord_inflight = false;
                 self.apply_coord_msg(msg);
@@ -1050,7 +1172,16 @@ impl Platform {
             self.coord.messages_sent += 1;
             self.coord.bytes_sent += n as u64;
             self.horizon_dirty |= horizon::RETX | horizon::MBX;
-            self.mbx.send(now, buf);
+            match self.chaos.coord_jitter() {
+                Some(extra) => {
+                    // Chaos: this message rides a congested channel. The
+                    // override applies to this send only.
+                    self.mbx.set_latency(self.coord_latency + extra);
+                    self.mbx.send(now, buf);
+                    self.mbx.set_latency(self.coord_latency);
+                }
+                None => self.mbx.send(now, buf),
+            }
         }
     }
 
@@ -1532,6 +1663,8 @@ impl Platform {
                     tunes_applied: self.coord.tunes_applied,
                     triggers_applied: self.coord.triggers_applied,
                     rejected: self.controller.stats().rejected,
+                    throttled: self.controller.stats().throttled,
+                    discounted: self.controller.stats().discounted,
                     channel_drops: self.mbx.dropped() + self.ack_mbx.dropped(),
                     channel_dups: self.mbx.duplicated() + self.ack_mbx.duplicated(),
                     retransmits: stats.retransmits,

@@ -16,6 +16,12 @@
 //! * [`bench`] — a wall-clock [`BenchSuite`]: warmup, N samples,
 //!   mean/p50/p99 per benchmark, JSON reports under `results/` (verified
 //!   to parse via the in-crate [`json`] module).
+//! * [`chaos`] — seeded, replayable [`ChaosPlan`] schedules of
+//!   event-timing perturbations (delayed timer fires, forced Trigger
+//!   preemptions, coordination-jitter bursts) that a host simulation
+//!   consults at defined hook points, plus [`chaos_check`] /
+//!   [`chaos_property!`] runners that shrink the chaos schedule to empty
+//!   alongside the generated case.
 //!
 //! ## Property example
 //!
@@ -41,10 +47,12 @@
 #![forbid(unsafe_code)]
 
 pub mod bench;
+pub mod chaos;
 pub mod gen;
 pub mod json;
 pub mod runner;
 
 pub use bench::{BenchConfig, BenchRecord, BenchSuite};
+pub use chaos::{chaos_check, chaos_check_with, ChaosPlan, Perturbation};
 pub use gen::Gen;
 pub use runner::{check, check_with, Config};

@@ -22,6 +22,10 @@
 //!   accelerator island (§5's heterogeneous-future direction): a model
 //!   catalogue spanning interactive and batch SLAs, Poisson per-tenant
 //!   arrivals and per-request compute costs.
+//! * [`adversary`] — strategic tenants that game the Tune/Trigger
+//!   interface (demand-delta inflation, Trigger spam, free-riding),
+//!   driving the price-of-anarchy experiment and the controller-side
+//!   defenses in `coord`.
 //!
 //! ## Example
 //!
@@ -39,6 +43,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adversary;
 pub mod inference;
 pub mod mplayer;
 pub mod rubis;
