@@ -516,6 +516,21 @@ impl ResourceManager for AccelIsland {
     }
 }
 
+/// The accelerator island as a master-loop event source: its horizon is
+/// the next batch-formation deadline or completion, and advancing it
+/// emits the completions and queue alarms due at `now`.
+impl simcore::Component for AccelIsland {
+    type Event = AccelEvent;
+
+    fn next_event_time(&self) -> Option<Nanos> {
+        AccelIsland::next_event_time(self)
+    }
+
+    fn advance(&mut self, now: Nanos, out: &mut Vec<AccelEvent>) {
+        self.on_timer(now, out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,7 +1,8 @@
 //! Regenerates every table and figure of the paper's evaluation plus the
 //! ablations, printing paper-style tables and writing CSVs to `results/`.
 //!
-//! Usage: `experiments [--jobs N] [--smoke[=SECS]] [--seed S] [SELECTION]`
+//! Usage: `experiments [--jobs N] [--island-threads N] [--smoke[=SECS]]
+//! [--seed S] [SELECTION]`
 //!
 //! * `SELECTION` — `all` (default), an experiment id (`experiments list`
 //!   prints them), or one of the groups `fig4`, `fig7`, `ablations`,
@@ -9,13 +10,18 @@
 //! * `--jobs N` — fan independent experiments across N worker threads
 //!   (default: `ARCH_JOBS` or the machine's available parallelism).
 //!   Output is byte-identical to `--jobs 1`.
+//! * `--island-threads N` — PDES island worker threads inside each
+//!   simulated run (default 1 = the serial master loop). Dispatch order
+//!   is conserved, so output is byte-identical to `--island-threads 1`;
+//!   ci.sh asserts this on every pass.
 //! * `--smoke[=SECS]` — cap every simulated run (default 5 simulated
 //!   seconds): a fast CI pass that keeps table shapes but not statistics.
 //! * `--seed S` — override the default deterministic seed.
 //!
 //! Besides the per-table CSVs this writes `results/BENCH_experiments.json`
 //! with the simulator-throughput block (events dispatched, wall µs,
-//! events/sec) for the whole pass.
+//! events/sec) and the deterministic per-island dispatch totals for the
+//! whole pass.
 
 use metrics::Table;
 use simtest::json::Json;
@@ -56,6 +62,8 @@ fn selection(which: &str) -> Option<Vec<&'static str>> {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = bench::pool::take_jobs_flag(&mut args);
+    let island_threads = bench::pool::take_island_threads_flag(&mut args);
+    bench::set_island_threads(island_threads);
     let mut seed = bench::SEED;
     let mut smoke: Option<u64> = None;
     let mut rest = Vec::new();
@@ -112,6 +120,11 @@ fn main() {
         "sim rate: {events} events in {:.2} s of simulator time ({rate:.0} events/s)",
         run_micros as f64 / 1e6
     );
+    let islands = bench::island_totals();
+    println!(
+        "islands: x86 {} ixp {} accel {}  sync points {} (island threads {island_threads})",
+        islands.x86, islands.ixp, islands.accel, islands.sync_points
+    );
 
     let report = Json::obj(vec![
         ("schema", Json::Str("bench-experiments-v1".into())),
@@ -141,6 +154,16 @@ fn main() {
                 ("events", Json::Num(events as f64)),
                 ("run_wall_micros", Json::Num(run_micros as f64)),
                 ("events_per_sec", Json::Num(rate)),
+            ]),
+        ),
+        (
+            "events_by_island",
+            Json::obj(vec![
+                ("x86", Json::Num(islands.x86 as f64)),
+                ("ixp", Json::Num(islands.ixp as f64)),
+                ("accel", Json::Num(islands.accel as f64)),
+                ("sync_points", Json::Num(islands.sync_points as f64)),
+                ("island_threads", Json::Num(island_threads as f64)),
             ]),
         ),
         ("wall_micros", Json::Num(wall.as_micros() as f64)),

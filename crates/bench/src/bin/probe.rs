@@ -37,6 +37,7 @@ fn rubis_w(policy: PolicyKind, label: &str, weights: Option<(u32, u32, u32)>) {
         r.rubis.throughput, r.rubis.sessions, r.rubis.avg_session_secs, r.efficiency
     );
     summary::print_cpu(&r, true);
+    summary::print_islands(&r);
     println!(
         "  coord: sent {} tunes {} trig {}  net: drops {} link {} deliv {}",
         r.coord.messages_sent,

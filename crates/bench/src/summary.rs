@@ -127,6 +127,21 @@ pub fn print_accel(r: &RunReport) {
     }
 }
 
+/// Prints the deterministic per-island dispatch split and PDES barrier
+/// accounting of a run.
+pub fn print_islands(r: &RunReport) {
+    let i = &r.events_by_island;
+    println!(
+        "  islands: x86 {} ixp {} accel {}  sync points {}  epoch {} us  threads {}",
+        i.x86,
+        i.ixp,
+        i.accel,
+        i.sync_points,
+        i.epoch_ns as f64 / 1e3,
+        i.island_threads,
+    );
+}
+
 /// Prints the per-domain CPU table: full user/system/steal split when
 /// `detail` is set, the compact percent+steal form otherwise.
 pub fn print_cpu(r: &RunReport, detail: bool) {

@@ -121,6 +121,182 @@ fn chaos_none_is_bit_identical_to_a_chaos_free_build() {
     }
 }
 
+// ----------------------------------------------------------------------
+// Component conformance: horizon monotonicity per island device
+// ----------------------------------------------------------------------
+
+/// Drains a [`Component`] and asserts its contract: after `advance(t)`,
+/// `next_event_time()` never reports a time before `t` (a past horizon
+/// would wedge or reorder the master loop). Returns the events absorbed
+/// so callers can assert the drive did real work.
+fn drive_conformant<C: simcore::Component>(name: &str, c: &mut C, max_steps: usize) -> usize {
+    use simcore::Component;
+    let mut out = Vec::new();
+    let mut events = 0;
+    for _ in 0..max_steps {
+        let Some(t) = Component::next_event_time(c) else { break };
+        Component::advance(c, t, &mut out);
+        events += out.len();
+        out.clear();
+        if let Some(t2) = Component::next_event_time(c) {
+            assert!(
+                t2 >= t,
+                "{name}: advance({:?}) left a past horizon {:?}",
+                t,
+                t2
+            );
+        }
+    }
+    events
+}
+
+#[test]
+fn every_island_component_keeps_a_monotone_horizon() {
+    use ixp::{AppTag, Packet};
+    use simcore::Component;
+
+    // x86 island: the credit scheduler under a two-domain burst mix.
+    let mut sched = xsched::CreditScheduler::new(xsched::SchedConfig::new(2));
+    let d0 = sched.create_domain("dom0", 256, 1);
+    let d1 = sched.create_domain("dom1", 512, 2);
+    for i in 0..40u64 {
+        let (dom, demand) = if i % 3 == 0 { (d0, 700) } else { (d1, 300) };
+        sched
+            .submit(
+                Nanos::from_micros(i),
+                dom,
+                xsched::Burst::user(Nanos::from_micros(demand), i),
+                xsched::WakeMode::Boost,
+            )
+            .expect("known domain");
+    }
+    assert!(drive_conformant("sched", &mut sched, 10_000) > 0);
+
+    // x86 island: the master event queue.
+    let mut q = simcore::EventQueue::new();
+    for i in (0..20u64).rev() {
+        q.schedule(Nanos::from_micros(i * 3), i);
+    }
+    assert_eq!(drive_conformant("queue", &mut q, 100), 20);
+
+    // x86 island: the PCIe link's DMA + notification pipeline.
+    let mut link = pcie::HostLink::new(pcie::LinkConfig::default());
+    for i in 0..20u64 {
+        let pkt = Packet::new(i, 1, 1500, AppTag::Http { class_id: 0, write: false });
+        link.post_to_host(Nanos::from_micros(i), ixp::FlowId(0), pkt);
+    }
+    assert!(drive_conformant("link", &mut link, 1_000) > 0);
+
+    // x86 island: a coordination mailbox endpoint.
+    let mut mbx = pcie::Mailbox::new(Nanos::from_micros(30));
+    for i in 0..10u64 {
+        mbx.send(Nanos::from_micros(i * 7), i);
+    }
+    assert_eq!(drive_conformant("mbx", &mut mbx, 100), 10);
+
+    // x86 island: reliable retransmission timers (unacked messages back
+    // off through every retry, then the sender abandons them).
+    let mut tx = coord::ReliableSender::new(coord::ReliableConfig::default());
+    for i in 0..4u32 {
+        tx.send(
+            Nanos::from_micros(i as u64),
+            coord::CoordMsg::Tune { entity: coord::EntityId(i), delta: 1, target: None },
+        );
+    }
+    drive_conformant("retx", &mut tx, 1_000);
+    assert_eq!(Component::next_event_time(&tx), None, "retries exhausted");
+
+    // IXP island: the stage pipeline under wire arrivals.
+    let mut island = ixp::IxpIsland::new(ixp::IxpConfig::default());
+    let flow = island.register_flow(1);
+    for i in 0..30u64 {
+        island.rx_from_wire(
+            Nanos::from_micros(i * 2),
+            Packet::new(i, 1, 1000, AppTag::Http { class_id: 0, write: false }),
+        );
+    }
+    assert!(drive_conformant("ixp", &mut island, 10_000) > 0);
+    let _ = flow;
+
+    // Accel island: the batching engine under a submission burst. All
+    // submissions land at time zero — the Component contract only covers
+    // time-monotonic interleavings of inputs and `advance`.
+    let mut isl = accel::AccelIsland::new(accel::AccelConfig::default());
+    let t0 = isl.register_tenant(17);
+    for i in 0..20u64 {
+        isl.submit(
+            Nanos::ZERO,
+            accel::AccelRequest { id: i, tenant: t0, cost: Nanos::from_micros(300), bytes: 4096 },
+        );
+    }
+    assert!(drive_conformant("accel", &mut isl, 10_000) > 0);
+}
+
+// ----------------------------------------------------------------------
+// Serial vs PDES-parallel differential: dispatch order is conserved
+// ----------------------------------------------------------------------
+
+/// A run's full observable surface: the report fingerprint plus the
+/// rendered coordination trace.
+fn run_surface(sim: &mut platform::Platform, dur: Nanos, threads: usize) -> (Vec<u64>, Vec<String>) {
+    let fp = fingerprint(&sim.run_with(dur, threads));
+    let trace = sim
+        .coordination_trace()
+        .map(|(t, line)| format!("{} {line}", t.as_nanos()))
+        .collect();
+    (fp, trace)
+}
+
+#[test]
+fn island_threads_do_not_change_any_run() {
+    use platform::{FaultProfile, Jitter, ReliableConfig};
+    let dur = Nanos::from_secs(2);
+    let faulty = FaultProfile::none()
+        .with_drop(0.10)
+        .with_dup(0.05)
+        .with_jitter(Jitter::Exponential { mean: Nanos::from_micros(20) });
+    for seed in [bench::SEED, 7, 1234] {
+        for faults in [None, Some(faulty)] {
+            for chaos in [None, Some(ChaosPlan::seeded(seed, 6))] {
+                let build_rubis = || {
+                    let mut b = PlatformBuilder::new().seed(seed).policy(PolicyKind::RequestType);
+                    if let Some(profile) = faults {
+                        b = b.fault_profile(profile).reliable_delivery(ReliableConfig::default());
+                    }
+                    if let Some(plan) = chaos.clone() {
+                        b = b.chaos(plan);
+                    }
+                    b.build_rubis(RubisScenario::read_write_mix(8))
+                };
+                let build_inference = || {
+                    let mut b =
+                        PlatformBuilder::new().seed(seed).policy(PolicyKind::InferenceBatch);
+                    if let Some(profile) = faults {
+                        b = b.fault_profile(profile).reliable_delivery(ReliableConfig::default());
+                    }
+                    if let Some(plan) = chaos.clone() {
+                        b = b.chaos(plan);
+                    }
+                    b.build_inference(InferenceScenario::mixed_tenants())
+                };
+                let ctx = format!(
+                    "seed {seed}, faults {}, chaos {}",
+                    faults.is_some(),
+                    chaos.is_some()
+                );
+                let serial = run_surface(&mut build_rubis(), dur, 1);
+                for threads in [2, 3] {
+                    let par = run_surface(&mut build_rubis(), dur, threads);
+                    assert_eq!(serial, par, "rubis diverged with {threads} threads ({ctx})");
+                }
+                let serial = run_surface(&mut build_inference(), dur, 1);
+                let par = run_surface(&mut build_inference(), dur, 3);
+                assert_eq!(serial, par, "inference diverged with 3 threads ({ctx})");
+            }
+        }
+    }
+}
+
 #[test]
 fn registry_ids_are_unique_and_unknown_ids_are_rejected() {
     let ids = bench::experiment_ids();

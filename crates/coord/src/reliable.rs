@@ -234,6 +234,22 @@ impl ReliableReceiver {
     }
 }
 
+/// The reliable sender's retransmission clock as a master-loop event
+/// source: its horizon is the earliest pending deadline, and advancing
+/// it emits the `(seq, msg)` pairs that must be re-encoded onto the
+/// coordination channel.
+impl simcore::Component for ReliableSender {
+    type Event = (u32, CoordMsg);
+
+    fn next_event_time(&self) -> Option<Nanos> {
+        self.next_timer()
+    }
+
+    fn advance(&mut self, now: Nanos, out: &mut Vec<(u32, CoordMsg)>) {
+        self.on_timer(now, out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

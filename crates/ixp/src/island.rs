@@ -614,6 +614,21 @@ impl IxpIsland {
     }
 }
 
+/// The IXP island as a master-loop event source: its horizon is the
+/// earliest internal stage-pipeline event, and advancing it emits the
+/// classification/delivery/alarm/transmit events due at `now`.
+impl simcore::Component for IxpIsland {
+    type Event = IxpEvent;
+
+    fn next_event_time(&self) -> Option<Nanos> {
+        IxpIsland::next_event_time(self)
+    }
+
+    fn advance(&mut self, now: Nanos, out: &mut Vec<IxpEvent>) {
+        self.on_timer(now, out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -182,6 +182,16 @@ impl HostLink {
         self.q.peek_time()
     }
 
+    /// Conservative lookahead of this link: no transfer handed to the
+    /// DMA engine at time `t` becomes visible on the other side before
+    /// `t + lookahead()`. This is the per-transfer base latency of the
+    /// lane's DMA model (doorbell + descriptor fetch + setup); payload
+    /// time only adds to it. PDES epoch derivation takes the min of
+    /// these bounds across every cross-island channel.
+    pub fn lookahead(&self) -> Nanos {
+        self.cfg.dma.base()
+    }
+
     /// Advances to `now`, appending notifications and IXP-bound arrivals
     /// to `out` (caller-owned and typically reused across calls).
     pub fn on_timer(&mut self, now: Nanos, out: &mut Vec<PcieEvent>) {
@@ -229,6 +239,21 @@ impl HostLink {
         };
         self.q.schedule(t, Transfer::Notify);
         self.notify_scheduled = true;
+    }
+}
+
+/// The PCIe link as a master-loop event source: its horizon is the next
+/// DMA completion or moderated notification, and advancing it emits the
+/// host notifications and IXP-bound arrivals due at `now`.
+impl simcore::Component for HostLink {
+    type Event = PcieEvent;
+
+    fn next_event_time(&self) -> Option<Nanos> {
+        HostLink::next_event_time(self)
+    }
+
+    fn advance(&mut self, now: Nanos, out: &mut Vec<PcieEvent>) {
+        self.on_timer(now, out);
     }
 }
 

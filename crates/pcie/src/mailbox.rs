@@ -161,6 +161,21 @@ impl<M> Mailbox<M> {
     }
 }
 
+/// A mailbox lane as a master-loop event source: its horizon is the
+/// earliest undelivered frame's arrival time (post fault-layer jitter),
+/// and advancing it delivers everything due at `now` in send order.
+impl<M> simcore::Component for Mailbox<M> {
+    type Event = M;
+
+    fn next_event_time(&self) -> Option<Nanos> {
+        Mailbox::next_event_time(self)
+    }
+
+    fn advance(&mut self, now: Nanos, out: &mut Vec<M>) {
+        self.on_timer(now, out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,7 +35,7 @@ impl Platform {
             InfReqState { tenant: t, start: now, attempt: 0, in_service: false, cost },
         );
         let gap = inf.model.next_gap(t);
-        self.horizon_dirty |= horizon::QUEUE;
+        self.horizons.mark(horizon::QUEUE);
         self.q.schedule(now + wire, Ev::WireArrive(pkt));
         self.q.schedule(now + rto, Ev::Rto { req, attempt: 0 });
         let next = now + gap;
@@ -61,7 +61,7 @@ impl Platform {
         let vm = inf.tenant_vms[t];
         let pkt = inf.model.request_packet(t, vm);
         inf.pkt_to_req.insert(pkt.id, req);
-        self.horizon_dirty |= horizon::QUEUE;
+        self.horizons.mark(horizon::QUEUE);
         self.q.schedule(now + wire, Ev::WireArrive(pkt));
         let backoff = rto * (1u64 << next_attempt.min(4));
         self.q.schedule(now + backoff, Ev::Rto { req, attempt: next_attempt });
@@ -107,7 +107,7 @@ impl Platform {
         state.in_service = true;
         self.vms[slot].pending += 1;
         self.consume_rx(vm, 1);
-        self.horizon_dirty |= horizon::QUEUE;
+        self.horizons.mark(horizon::QUEUE);
         self.q.schedule(now + dma, Ev::AccelDma { req });
     }
 
@@ -123,7 +123,7 @@ impl Platform {
         let tenant = inf.accel_tenants[t];
         let bytes = inf.model.model_of(t).input_bytes as u64;
         let vm = inf.tenant_vms[t];
-        self.horizon_dirty |= horizon::ACCEL;
+        self.horizons.mark(horizon::ACCEL);
         let Some(acc) = self.accel.as_mut() else { return };
         let accepted = acc.submit(now, AccelRequest { id: req, tenant, cost, bytes });
         if !accepted {
@@ -188,7 +188,7 @@ impl Platform {
         let resp = inf.model.response_packet(t, u32::MAX);
         inf.resp_map.insert(resp.id, req);
         let now = self.now;
-        self.horizon_dirty |= horizon::IXP;
+        self.horizons.mark(horizon::IXP);
         let evs = self.ixp.tx_from_host(now, resp);
         self.absorb_ixp(evs);
     }

@@ -42,6 +42,7 @@
 mod config;
 mod inference_path;
 mod media;
+mod pdes;
 mod report;
 mod rubis_path;
 mod trace_event;
@@ -50,9 +51,10 @@ mod world;
 pub use config::{
     InferenceScenario, MplayerScenario, PlatformBuilder, PlayerSpec, RubisScenario,
 };
+pub use pdes::LookaheadPlan;
 pub use report::{
-    AccelReport, AccelTenantReport, CoordReport, DomCpu, NetReport, PlayerReport, PowerReport,
-    RubisReport, RunReport, SimRate,
+    AccelReport, AccelTenantReport, CoordReport, DomCpu, IslandEvents, NetReport, PlayerReport,
+    PowerReport, RubisReport, RunReport, SimRate,
 };
 pub use trace_event::TraceEvent;
 pub use world::Platform;

@@ -20,7 +20,7 @@ impl Platform {
         let overrate = self.overrate;
         let run_end = self.run_end;
         let Some(p) = self.players.get_mut(i) else { return };
-        self.horizon_dirty |= horizon::QUEUE;
+        self.horizons.mark(horizon::QUEUE);
         let spec = p.player.spec();
         let vm = p.vm_index;
         let mut remaining = spec.bytes_per_frame();

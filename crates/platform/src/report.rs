@@ -161,6 +161,34 @@ pub struct PowerReport {
     pub series: Series,
 }
 
+/// Per-island master-loop accounting: how many dispatched events each
+/// scheduling island absorbed, plus the PDES epoch-barrier bookkeeping.
+///
+/// Unlike [`SimRate`] these counts are fully deterministic — they depend
+/// only on the seed and configuration, and are identical between
+/// `--island-threads 1` and `--island-threads N` runs (the determinism
+/// suite asserts this).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IslandEvents {
+    /// Events dispatched to the x86 host island (master queue, credit
+    /// scheduler, PCIe link, coordination + ack mailboxes, reliable
+    /// retransmission timers).
+    pub x86: u64,
+    /// Events dispatched to the IXP network-processor island.
+    pub ixp: u64,
+    /// Events dispatched to the accelerator island (batch engine and its
+    /// doorbell lane); 0 on two-island platforms.
+    pub accel: u64,
+    /// Conservative epoch barriers the run crossed (counted in serial
+    /// mode too, so serial and parallel runs are comparable).
+    pub sync_points: u64,
+    /// Island worker threads the run used (1 = serial master loop).
+    pub island_threads: u64,
+    /// The conservative epoch — the minimum cross-island channel
+    /// lookahead — in nanoseconds.
+    pub epoch_ns: u64,
+}
+
 /// Simulator throughput over one run (wall-clock instrumentation).
 ///
 /// These fields describe the *simulator*, not the simulated system: they
@@ -209,6 +237,8 @@ pub struct RunReport {
     pub power: PowerReport,
     /// Simulator throughput (events dispatched, wall time, events/sec).
     pub sim_rate: SimRate,
+    /// Deterministic per-island event counts and PDES barrier accounting.
+    pub events_by_island: IslandEvents,
 }
 
 impl RunReport {

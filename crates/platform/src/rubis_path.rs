@@ -28,7 +28,7 @@ impl Platform {
             req,
             ReqState { rt, demands, client, start: now, attempt: 0, in_service: false },
         );
-        self.horizon_dirty |= horizon::QUEUE;
+        self.horizons.mark(horizon::QUEUE);
         self.q.schedule(now + wire, Ev::WireArrive(pkt));
         self.q.schedule(now + rto, Ev::Rto { req, attempt: 0 });
     }
@@ -51,7 +51,7 @@ impl Platform {
         let rt = state.rt;
         let pkt = r.model.request_packet(rt, r.web_vm);
         r.pkt_to_req.insert(pkt.id, req);
-        self.horizon_dirty |= horizon::QUEUE;
+        self.horizons.mark(horizon::QUEUE);
         self.q.schedule(now + wire, Ev::WireArrive(pkt));
         let backoff = rto * (1u64 << next_attempt.min(4));
         self.q.schedule(now + backoff, Ev::Rto { req, attempt: next_attempt });
@@ -183,7 +183,7 @@ impl Platform {
         let resp = r.model.response_packet(rt, u32::MAX);
         r.resp_map.insert(resp.id, req);
         let now = self.now;
-        self.horizon_dirty |= horizon::IXP;
+        self.horizons.mark(horizon::IXP);
         let evs = self.ixp.tx_from_host(now, resp);
         self.absorb_ixp(evs);
     }
@@ -217,7 +217,7 @@ impl Platform {
         }
         let next = t_client + think;
         if next <= run_end {
-            self.horizon_dirty |= horizon::QUEUE;
+            self.horizons.mark(horizon::QUEUE);
             self.q.schedule(next, Ev::ClientSend(state.client));
         }
     }

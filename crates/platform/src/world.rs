@@ -22,7 +22,8 @@ use power::{CpuPowerModel, DomainSample, IxpPowerModel, PowerGovernor};
 use simcore::stats::Series;
 use crate::trace_event::TraceEvent;
 use simcore::trace::TraceBuffer;
-use simcore::{EventQueue, Nanos, SimRng};
+use crate::pdes;
+use simcore::{Component, EventQueue, HorizonCache, Nanos, SimRng};
 use simtest::chaos::ChaosPlan;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use workloads::adversary::Adversary;
@@ -179,23 +180,53 @@ pub(crate) struct CoordCounters {
 }
 
 /// Bit assignments for the master loop's cached event horizon. One bit
-/// per event source; a source's bit is set in `Platform::horizon_dirty`
-/// whenever code mutates that source's timing state, and `Platform::run`
-/// refreshes only the marked entries before taking the min.
+/// per event source; a source's bit is marked in `Platform::horizons`
+/// (the [`simcore::HorizonCache`]) whenever code mutates that source's
+/// timing state, and the run loop refreshes only the marked entries
+/// before taking the min.
 pub(crate) mod horizon {
-    pub const QUEUE: u16 = 1 << 0;
-    pub const SCHED: u16 = 1 << 1;
-    pub const IXP: u16 = 1 << 2;
-    pub const LINK: u16 = 1 << 3;
-    pub const MBX: u16 = 1 << 4;
-    pub const ACK: u16 = 1 << 5;
-    pub const RETX: u16 = 1 << 6;
-    pub const ACCEL: u16 = 1 << 7;
-    pub const ACCEL_MBX: u16 = 1 << 8;
+    pub const QUEUE: u32 = 1 << 0;
+    pub const SCHED: u32 = 1 << 1;
+    pub const IXP: u32 = 1 << 2;
+    pub const LINK: u32 = 1 << 3;
+    pub const MBX: u32 = 1 << 4;
+    pub const ACK: u32 = 1 << 5;
+    pub const RETX: u32 = 1 << 6;
+    pub const ACCEL: u32 = 1 << 7;
+    pub const ACCEL_MBX: u32 = 1 << 8;
     /// Number of event sources (= index bound for `Platform::horizons`).
     pub const NSRC: usize = 9;
-    pub const ALL: u16 = (1 << NSRC as u16) - 1;
 }
+
+/// One registry entry per event source: what the master loop iterates
+/// instead of a hand-written nine-arm match. Array order mirrors the bit
+/// assignments in [`horizon`]; `island` places the source in the PDES
+/// partition defined in [`crate::pdes`].
+pub(crate) struct SourceSpec {
+    /// Short stable name (read by the debug-build invariant sweep).
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    pub name: &'static str,
+    /// PDES island index ([`crate::pdes::X86_ISLAND`] etc.).
+    pub island: usize,
+    /// Dispatches this source's due event at `t` (consumes the head and
+    /// absorbs whatever it produces).
+    pub dispatch: fn(&mut Platform, Nanos),
+}
+
+/// The platform's event sources, in horizon-bit order. The dispatch
+/// order at equal timestamps is the array order (lowest index wins) —
+/// changing this table's order changes committed artifacts.
+pub(crate) const SOURCES: [SourceSpec; horizon::NSRC] = [
+    SourceSpec { name: "queue", island: pdes::X86_ISLAND, dispatch: Platform::dispatch_queue },
+    SourceSpec { name: "sched", island: pdes::X86_ISLAND, dispatch: Platform::dispatch_sched },
+    SourceSpec { name: "ixp", island: pdes::IXP_ISLAND, dispatch: Platform::dispatch_ixp },
+    SourceSpec { name: "link", island: pdes::X86_ISLAND, dispatch: Platform::dispatch_link },
+    SourceSpec { name: "coord-mbx", island: pdes::X86_ISLAND, dispatch: Platform::dispatch_coord_mbx },
+    SourceSpec { name: "ack-mbx", island: pdes::X86_ISLAND, dispatch: Platform::dispatch_ack_mbx },
+    SourceSpec { name: "retx", island: pdes::X86_ISLAND, dispatch: Platform::dispatch_retx },
+    SourceSpec { name: "accel", island: pdes::ACCEL_ISLAND, dispatch: Platform::dispatch_accel },
+    SourceSpec { name: "accel-mbx", island: pdes::ACCEL_ISLAND, dispatch: Platform::dispatch_accel_mbx },
+];
 
 /// The fully wired two-island platform. Construct with
 /// [`PlatformBuilder`](crate::PlatformBuilder), then call [`run`](Self::run).
@@ -286,14 +317,16 @@ pub struct Platform {
     pub(crate) scratch_retx: Vec<(u32, CoordMsg)>,
     pub(crate) scratch_accel: Vec<AccelEvent>,
     pub(crate) scratch_accel_mbx: Vec<Vec<u8>>,
-    /// Cached `next_event_time()` of each source (`Nanos::MAX` = idle),
-    /// indexed by the bit positions in [`horizon`]. Only entries whose
-    /// bit is set in `horizon_dirty` are recomputed each iteration, so
-    /// the steady-state loop cost is a min over nine array slots rather
-    /// than nine virtual calls (one of which — the reliable sender's
-    /// timer — is O(pending)).
-    pub(crate) horizons: [Nanos; horizon::NSRC],
-    pub(crate) horizon_dirty: u16,
+    pub(crate) scratch_ev: Vec<(Nanos, Ev)>,
+    /// Cached `next_event_time()` of each source (`Nanos::MAX` = idle)
+    /// plus the dirty mask, indexed by the bit positions in [`horizon`].
+    /// Only dirty entries are recomputed each iteration, so the
+    /// steady-state loop cost is a min over nine array slots rather than
+    /// nine virtual calls (one of which — the reliable sender's timer —
+    /// is O(pending)).
+    pub(crate) horizons: HorizonCache<{ horizon::NSRC }>,
+    /// Island worker threads used by [`run`](Self::run) (1 = serial).
+    pub(crate) island_threads: usize,
 }
 
 impl std::fmt::Debug for Platform {
@@ -403,32 +436,34 @@ impl Platform {
             scratch_retx: Vec::new(),
             scratch_accel: Vec::new(),
             scratch_accel_mbx: Vec::new(),
-            horizons: [Nanos::MAX; horizon::NSRC],
-            horizon_dirty: horizon::ALL,
+            scratch_ev: Vec::new(),
+            horizons: HorizonCache::new(),
+            island_threads: b.island_threads,
         }
     }
 
-    /// Recomputes one source's horizon from scratch. The run loop calls
-    /// this only for dirty entries (and, in debug builds, to cross-check
+    /// Recomputes one source's horizon from scratch, through the
+    /// source's [`Component`] face. The run loop calls this only for
+    /// dirty entries (and, at debug-build epoch barriers, to cross-check
     /// every cached entry against the live sources).
-    fn fresh_horizon(&self, i: usize) -> Nanos {
+    pub(crate) fn fresh_horizon(&self, i: usize) -> Nanos {
         let t = match i {
-            0 => self.q.peek_time(),
-            1 => self.sched.next_event_time(),
-            2 => self.ixp.next_event_time(),
-            3 => self.link.next_event_time(),
-            4 => self.mbx.next_event_time(),
-            5 => self.ack_mbx.next_event_time(),
-            6 => self.rel_tx.as_ref().and_then(|tx| tx.next_timer()),
-            7 => self.accel.as_ref().and_then(|a| a.next_event_time()),
-            8 => self.accel_mbx.next_event_time(),
+            0 => Component::next_event_time(&self.q),
+            1 => Component::next_event_time(&self.sched),
+            2 => Component::next_event_time(&self.ixp),
+            3 => Component::next_event_time(&self.link),
+            4 => Component::next_event_time(&self.mbx),
+            5 => Component::next_event_time(&self.ack_mbx),
+            6 => self.rel_tx.as_ref().and_then(|tx| Component::next_event_time(tx)),
+            7 => self.accel.as_ref().and_then(|a| Component::next_event_time(a)),
+            8 => Component::next_event_time(&self.accel_mbx),
             _ => unreachable!("no such event source"),
         };
         t.unwrap_or(Nanos::MAX)
     }
 
     fn add_vm(&mut self, name: &str, weight: u32, vm_index: u32, with_flow: bool) -> usize {
-        self.horizon_dirty |= horizon::SCHED | horizon::IXP;
+        self.horizons.mark(horizon::SCHED | horizon::IXP);
         let dom = self.sched.create_domain(name, weight, 1);
         let entity = EntityId(vm_index);
         let flow = with_flow.then(|| self.ixp.register_flow(vm_index));
@@ -657,7 +692,7 @@ impl Platform {
 
     /// Submits a burst to a domain and absorbs any catch-up completions.
     pub(crate) fn submit(&mut self, dom: DomId, burst: Burst, wake: WakeMode) {
-        self.horizon_dirty |= horizon::SCHED;
+        self.horizons.mark(horizon::SCHED);
         let now = self.now;
         let evs = self
             .sched
@@ -672,7 +707,7 @@ impl Platform {
         let Some(flow) = self.ixp.flow_of_vm(vm_index) else {
             return false;
         };
-        self.horizon_dirty |= horizon::IXP;
+        self.horizons.mark(horizon::IXP);
         self.ixp.set_flow_threads(flow, threads);
         true
     }
@@ -725,7 +760,7 @@ impl Platform {
     /// Returns `false` if no such domain exists. Used by experiments that
     /// evaluate static weight assignments.
     pub fn set_weight_by_name(&mut self, name: &str, weight: u32) -> bool {
-        self.horizon_dirty |= horizon::SCHED;
+        self.horizons.mark(horizon::SCHED);
         if name == "dom0" {
             return self.sched.set_weight(self.dom0, weight).is_ok();
         }
@@ -739,136 +774,222 @@ impl Platform {
     // Main loop
     // ------------------------------------------------------------------
 
-    /// Runs the simulation for `duration` and returns the measurements.
+    /// Runs the simulation for `duration` and returns the measurements,
+    /// using the configured island-thread count (default 1 = serial).
     ///
-    /// Each iteration peeks the five event sources — all O(1) reads: the
-    /// queues keep a live head and the scheduler memoises its horizon —
-    /// and dispatches the earliest through a reusable scratch buffer.
+    /// Each iteration refreshes the dirty entries of the horizon cache —
+    /// all O(1) reads: the queues keep a live head and the scheduler
+    /// memoises its horizon — and dispatches the earliest source through
+    /// the [`SOURCES`] registry.
     pub fn run(&mut self, duration: Nanos) -> RunReport {
+        let threads = self.island_threads;
+        self.run_with(duration, threads)
+    }
+
+    /// [`run`](Self::run) with an explicit island worker-thread count.
+    ///
+    /// `island_threads = 1` is the serial master loop. With more
+    /// threads, the loop partitions the event sources into the three
+    /// scheduling islands (see [`crate::pdes`]), derives the
+    /// conservative epoch from the cross-island channel lookaheads, and
+    /// services island horizons on scoped worker threads at epoch
+    /// barriers. Dispatch order — and therefore every report, CSV and
+    /// trace — is bit-identical for any thread count; the determinism
+    /// suite asserts this across seeds, fault profiles and chaos plans.
+    pub fn run_with(&mut self, duration: Nanos, island_threads: usize) -> RunReport {
         let wall_start = std::time::Instant::now();
-        let mut events: u64 = 0;
         let t_end = self.now + duration;
         self.run_end = t_end;
         self.q.schedule(self.now + self.sample_period, Ev::Sample);
         self.start_workload();
         // Pre-run configuration (weights, alarms, repeated `run` calls)
         // may have moved any source; start from a full refresh.
-        self.horizon_dirty = horizon::ALL;
-        loop {
-            let mut d = self.horizon_dirty;
-            while d != 0 {
-                let i = d.trailing_zeros() as usize;
-                d &= d - 1;
-                self.horizons[i] = self.fresh_horizon(i);
-            }
-            self.horizon_dirty = 0;
-            #[cfg(debug_assertions)]
-            for i in 0..horizon::NSRC {
-                debug_assert_eq!(
-                    self.horizons[i],
-                    self.fresh_horizon(i),
-                    "stale cached horizon for source bit {i}: a mutation \
-                     site is missing its `horizon_dirty` mark"
-                );
-            }
-            let mut t = Nanos::MAX;
-            let mut src = horizon::NSRC;
-            for (i, &h) in self.horizons.iter().enumerate() {
-                if h < t {
-                    t = h;
-                    src = i;
-                }
-            }
-            if src == horizon::NSRC || t > t_end {
-                break;
-            }
-            self.now = t;
-            events += 1;
-            // Dispatching a source always perturbs it (its head event is
-            // consumed), so its entry is unconditionally dirty; anything
-            // else the handler touches marks itself at the mutation site.
-            self.horizon_dirty |= 1 << src;
-            // Arms are ordered by the bit assignments in [`horizon`]:
-            // queue, sched, ixp, link, mbx, ack, retx, accel, accel_mbx.
-            match src {
-                0 => {
-                    if let Some(d) = self.chaos.delay_event() {
-                        // Chaos: push this timer fire out by a bounded
-                        // delay instead of dispatching it. The schedule is
-                        // finite, so the event always runs eventually.
-                        let (_, ev) = self.q.pop().expect("peeked");
-                        self.q.schedule(t + d, ev);
-                    } else {
-                        let (_, ev) = self.q.pop().expect("peeked");
-                        self.handle_ev(ev);
-                    }
-                }
-                1 => {
-                    let mut evs = std::mem::take(&mut self.scratch_sched);
-                    self.sched.on_timer(t, &mut evs);
-                    self.absorb_sched_drain(&mut evs);
-                    self.scratch_sched = evs;
-                }
-                2 => {
-                    let mut evs = std::mem::take(&mut self.scratch_ixp);
-                    self.ixp.on_timer(t, &mut evs);
-                    self.absorb_ixp_drain(&mut evs);
-                    self.scratch_ixp = evs;
-                }
-                3 => {
-                    let mut evs = std::mem::take(&mut self.scratch_link);
-                    self.link.on_timer(t, &mut evs);
-                    self.absorb_link_drain(&mut evs);
-                    self.scratch_link = evs;
-                }
-                4 => {
-                    let mut msgs = std::mem::take(&mut self.scratch_mbx);
-                    self.mbx.on_timer(t, &mut msgs);
-                    for m in msgs.drain(..) {
-                        self.handle_coord_delivery(m);
-                    }
-                    self.scratch_mbx = msgs;
-                }
-                5 => {
-                    let mut msgs = std::mem::take(&mut self.scratch_ack);
-                    self.ack_mbx.on_timer(t, &mut msgs);
-                    for m in msgs.drain(..) {
-                        self.handle_ack_delivery(m);
-                    }
-                    self.scratch_ack = msgs;
-                }
-                6 => self.pump_retransmits(),
-                7 => {
-                    let mut evs = std::mem::take(&mut self.scratch_accel);
-                    if let Some(acc) = self.accel.as_mut() {
-                        acc.on_timer(t, &mut evs);
-                    }
-                    if self.chaos.force_trigger() {
-                        // Chaos: preempt a tenant queue at this batch
-                        // boundary, as a hostile Trigger would.
-                        self.chaos_force_trigger();
-                    }
-                    self.absorb_accel_drain(&mut evs);
-                    self.scratch_accel = evs;
-                }
-                8 => {
-                    let mut msgs = std::mem::take(&mut self.scratch_accel_mbx);
-                    self.accel_mbx.on_timer(t, &mut msgs);
-                    for m in msgs.drain(..) {
-                        self.handle_accel_delivery(m);
-                    }
-                    self.scratch_accel_mbx = msgs;
-                }
-                _ => unreachable!(),
-            }
-        }
+        self.horizons.mark_all();
+        let stats = self.run_loop(t_end, island_threads.max(1));
         self.now = t_end;
         let mut evs = std::mem::take(&mut self.scratch_sched);
         self.sched.on_timer(t_end, &mut evs);
         self.absorb_sched_drain(&mut evs);
         self.scratch_sched = evs;
         let wall_micros = wall_start.elapsed().as_micros() as u64;
-        self.build_report(duration, events, wall_micros)
+        self.build_report(duration, stats, wall_micros)
+    }
+
+    /// The master event loop, shared by the serial and parallel paths.
+    ///
+    /// The loop's invariants:
+    /// * every cached horizon whose dirty bit is clear equals a
+    ///   from-scratch recompute (checked at debug-build epoch barriers);
+    /// * the earliest horizon is dispatched next, lowest source index
+    ///   breaking timestamp ties (the [`SOURCES`] order);
+    /// * no source advances past another source's horizon.
+    ///
+    /// Epoch barriers land on multiples of the conservative lookahead
+    /// (the minimum cross-island channel latency): between two barriers
+    /// no island can affect another island's horizon through a channel,
+    /// so cross-island horizon refreshes can be serviced concurrently by
+    /// the island workers without changing any cached value.
+    fn run_loop(&mut self, t_end: Nanos, threads: usize) -> pdes::PdesStats {
+        let plan = self.lookahead_plan();
+        let mut stats = pdes::PdesStats::new(plan.epoch, threads);
+        let mut next_barrier = pdes::next_boundary(self.now, plan.epoch);
+        loop {
+            let mut d = self.horizons.take_dirty();
+            while d != 0 {
+                let i = d.trailing_zeros() as usize;
+                d &= d - 1;
+                let h = self.fresh_horizon(i);
+                self.horizons.set(i, h);
+            }
+            let (t, src) = self.horizons.earliest();
+            if src == horizon::NSRC || t > t_end {
+                break;
+            }
+            if t >= next_barrier {
+                // Conservative epoch barrier. Idle epochs are coalesced:
+                // the next barrier is aligned to the epoch grid at or
+                // before the next event, so a quiet simulated second
+                // costs one crossing, not latency/epoch of them.
+                stats.sync_points += 1;
+                #[cfg(debug_assertions)]
+                self.debug_check_horizons();
+                if threads > 1 && stats.sync_points % pdes::SERVICE_INTERVAL == 0 {
+                    self.service_islands_parallel(threads);
+                }
+                next_barrier = pdes::next_boundary(t, plan.epoch);
+            }
+            self.now = t;
+            stats.events += 1;
+            stats.by_island[SOURCES[src].island] += 1;
+            // Dispatching a source always perturbs it (its head event is
+            // consumed), so its entry is unconditionally dirty; anything
+            // else the handler touches marks itself at the mutation site.
+            self.horizons.mark(1 << src as u32);
+            (SOURCES[src].dispatch)(self, t);
+        }
+        stats
+    }
+
+    /// Debug-build invariant sweep: every cached horizon must equal a
+    /// from-scratch recompute. PR 5 ran this on every loop iteration,
+    /// which made debug runs feel quadratic on long simulations; it now
+    /// runs once per conservative epoch barrier — the same invariant
+    /// (a missing dirty mark still trips, at the following barrier at
+    /// the latest) at a bounded amortized cost.
+    #[cfg(debug_assertions)]
+    fn debug_check_horizons(&self) {
+        for (i, spec) in SOURCES.iter().enumerate() {
+            debug_assert_eq!(
+                self.horizons.get(i),
+                self.fresh_horizon(i),
+                "stale cached horizon for source `{}` (bit {i}): a \
+                 mutation site is missing its `horizons.mark` call",
+                spec.name
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Source dispatch (one method per [`SOURCES`] registry entry)
+    // ------------------------------------------------------------------
+
+    /// Master-queue head: workload pacing and sampling events.
+    fn dispatch_queue(&mut self, t: Nanos) {
+        let mut evs = std::mem::take(&mut self.scratch_ev);
+        Component::advance(&mut self.q, t, &mut evs);
+        for (_, ev) in evs.drain(..) {
+            if let Some(d) = self.chaos.delay_event() {
+                // Chaos: push this timer fire out by a bounded delay
+                // instead of dispatching it. The schedule is finite, so
+                // the event always runs eventually.
+                self.q.schedule(t + d, ev);
+            } else {
+                self.handle_ev(ev);
+            }
+        }
+        self.scratch_ev = evs;
+    }
+
+    /// Credit-scheduler timer: ticks, slice rotation, completions.
+    fn dispatch_sched(&mut self, t: Nanos) {
+        let mut evs = std::mem::take(&mut self.scratch_sched);
+        Component::advance(&mut self.sched, t, &mut evs);
+        self.absorb_sched_drain(&mut evs);
+        self.scratch_sched = evs;
+    }
+
+    /// IXP stage pipeline: classification, delivery, alarms, wire tx.
+    fn dispatch_ixp(&mut self, t: Nanos) {
+        let mut evs = std::mem::take(&mut self.scratch_ixp);
+        Component::advance(&mut self.ixp, t, &mut evs);
+        self.absorb_ixp_drain(&mut evs);
+        self.scratch_ixp = evs;
+    }
+
+    /// PCIe link: DMA completions and moderated host notifications.
+    fn dispatch_link(&mut self, t: Nanos) {
+        let mut evs = std::mem::take(&mut self.scratch_link);
+        Component::advance(&mut self.link, t, &mut evs);
+        self.absorb_link_drain(&mut evs);
+        self.scratch_link = evs;
+    }
+
+    /// Forward coordination mailbox: frames arriving at Dom0.
+    fn dispatch_coord_mbx(&mut self, t: Nanos) {
+        let mut msgs = std::mem::take(&mut self.scratch_mbx);
+        Component::advance(&mut self.mbx, t, &mut msgs);
+        for m in msgs.drain(..) {
+            self.handle_coord_delivery(m);
+        }
+        self.scratch_mbx = msgs;
+    }
+
+    /// Reverse mailbox: reliable-delivery acks arriving at the sender.
+    fn dispatch_ack_mbx(&mut self, t: Nanos) {
+        let mut msgs = std::mem::take(&mut self.scratch_ack);
+        Component::advance(&mut self.ack_mbx, t, &mut msgs);
+        for m in msgs.drain(..) {
+            self.handle_ack_delivery(m);
+        }
+        self.scratch_ack = msgs;
+    }
+
+    /// Reliable sender's retransmission deadlines.
+    fn dispatch_retx(&mut self, _t: Nanos) {
+        self.pump_retransmits();
+    }
+
+    /// Accelerator batch engine: completions, alarms, chaos Triggers.
+    fn dispatch_accel(&mut self, t: Nanos) {
+        let mut evs = std::mem::take(&mut self.scratch_accel);
+        if let Some(acc) = self.accel.as_mut() {
+            Component::advance(acc, t, &mut evs);
+        }
+        if self.chaos.force_trigger() {
+            // Chaos: preempt a tenant queue at this batch boundary, as a
+            // hostile Trigger would.
+            self.chaos_force_trigger();
+        }
+        self.absorb_accel_drain(&mut evs);
+        self.scratch_accel = evs;
+    }
+
+    /// Accelerator doorbell lane: coordination verbs reaching the device.
+    fn dispatch_accel_mbx(&mut self, t: Nanos) {
+        let mut msgs = std::mem::take(&mut self.scratch_accel_mbx);
+        Component::advance(&mut self.accel_mbx, t, &mut msgs);
+        for m in msgs.drain(..) {
+            self.handle_accel_delivery(m);
+        }
+        self.scratch_accel_mbx = msgs;
+    }
+
+    /// Overrides the island worker-thread count for subsequent
+    /// [`run`](Self::run) calls (the builder knob
+    /// [`PlatformBuilder::island_threads`] sets the initial value; the
+    /// bench harness sets this from `--island-threads`).
+    pub fn set_island_threads(&mut self, threads: usize) {
+        self.island_threads = threads.max(1);
     }
 
     fn start_workload(&mut self) {
@@ -916,7 +1037,7 @@ impl Platform {
         for i in 0..self.adversaries.len() {
             let a = &self.adversaries[i];
             if let (0, Some(t)) = (a.sent(), a.next_at()) {
-                self.horizon_dirty |= horizon::QUEUE;
+                self.horizons.mark(horizon::QUEUE);
                 self.q.schedule(t, Ev::Adversary(i));
             }
             if let Some(slot) = self.slot_by_vm(self.adversaries[i].entity().0) {
@@ -933,7 +1054,7 @@ impl Platform {
         match ev {
             Ev::WireArrive(pkt) => {
                 let now = self.now;
-                self.horizon_dirty |= horizon::IXP;
+                self.horizons.mark(horizon::IXP);
                 let evs = self.ixp.rx_from_wire(now, pkt);
                 self.absorb_ixp(evs);
             }
@@ -970,7 +1091,7 @@ impl Platform {
         self.send_coord(vec![msg]);
         if let Some(t) = next {
             if t <= self.run_end {
-                self.horizon_dirty |= horizon::QUEUE;
+                self.horizons.mark(horizon::QUEUE);
                 self.q.schedule(t, Ev::Adversary(i));
             }
         }
@@ -1000,7 +1121,7 @@ impl Platform {
         self.chaos_triggers += 1;
         let tenant = inf.accel_tenants[idx];
         let Some(acc) = self.accel.as_mut() else { return };
-        self.horizon_dirty |= horizon::ACCEL;
+        self.horizons.mark(horizon::ACCEL);
         let mgr: &mut dyn ResourceManager = acc;
         let _ = mgr.apply_trigger(now, EntityId(tenant.0));
     }
@@ -1028,7 +1149,7 @@ impl Platform {
             Ctx::DriverService => {
                 self.driver_pending = false;
                 let now = self.now;
-                self.horizon_dirty |= horizon::LINK;
+                self.horizons.mark(horizon::LINK);
                 let pkts = self.link.host_take(now, usize::MAX);
                 for (flow, pkt) in pkts {
                     self.deliver_to_guest(flow, pkt);
@@ -1047,7 +1168,7 @@ impl Platform {
                     self.submit_background();
                 } else if duty > 0.0 {
                     let gap = self.hog_chunk * ((1.0 - duty) / duty);
-                    self.horizon_dirty |= horizon::QUEUE;
+                    self.horizons.mark(horizon::QUEUE);
                     self.q.schedule(self.now + gap, Ev::BackgroundKick);
                 }
             }
@@ -1072,7 +1193,7 @@ impl Platform {
                 IxpEvent::Classified { flow, pkt, .. } => self.on_classified(flow, pkt),
                 IxpEvent::DeliverToHost { flow, pkt, .. } => {
                     let now = self.now;
-                    self.horizon_dirty |= horizon::LINK;
+                    self.horizons.mark(horizon::LINK);
                     self.link.post_to_host(now, flow, pkt);
                 }
                 IxpEvent::BufferAlarm { flow, bytes, .. } => self.on_buffer_alarm(flow, bytes),
@@ -1096,7 +1217,7 @@ impl Platform {
                 }
                 PcieEvent::TxArrived { pkt, .. } => {
                     let now = self.now;
-                    self.horizon_dirty |= horizon::IXP;
+                    self.horizons.mark(horizon::IXP);
                     let evs = self.ixp.tx_from_host(now, pkt);
                     self.absorb_ixp(evs);
                 }
@@ -1171,7 +1292,7 @@ impl Platform {
             };
             self.coord.messages_sent += 1;
             self.coord.bytes_sent += n as u64;
-            self.horizon_dirty |= horizon::RETX | horizon::MBX;
+            self.horizons.mark(horizon::RETX | horizon::MBX);
             match self.chaos.coord_jitter() {
                 Some(extra) => {
                     // Chaos: this message rides a congested channel. The
@@ -1189,12 +1310,12 @@ impl Platform {
     /// traces give-ups and degraded-mode entry.
     fn pump_retransmits(&mut self) {
         let now = self.now;
-        self.horizon_dirty |= horizon::RETX | horizon::MBX;
+        self.horizons.mark(horizon::RETX | horizon::MBX);
         let Some(tx) = self.rel_tx.as_mut() else { return };
         let was_degraded = tx.is_degraded();
         let gave_up_before = tx.stats().gave_up;
         let mut retx = std::mem::take(&mut self.scratch_retx);
-        tx.on_timer(now, &mut retx);
+        Component::advance(tx, now, &mut retx);
         let entered_degraded = !was_degraded && tx.is_degraded();
         let gave_up = tx.stats().gave_up - gave_up_before;
         for (seq, msg) in retx.drain(..) {
@@ -1223,7 +1344,7 @@ impl Platform {
             let now = self.now;
             let mut ack = Vec::new();
             coord::wire::encode(&CoordMsg::Ack { seq }, &mut ack);
-            self.horizon_dirty |= horizon::ACK;
+            self.horizons.mark(horizon::ACK);
             self.ack_mbx.send(now, ack);
             if let Some(rx) = self.rel_rx.as_mut() {
                 if !rx.accept(seq) {
@@ -1253,7 +1374,7 @@ impl Platform {
             return;
         };
         let now = self.now;
-        self.horizon_dirty |= horizon::RETX;
+        self.horizons.mark(horizon::RETX);
         let Some(tx) = self.rel_tx.as_mut() else { return };
         let was_degraded = tx.is_degraded();
         tx.on_ack(now, seq);
@@ -1282,7 +1403,7 @@ impl Platform {
     fn handle_accel_delivery(&mut self, bytes: Vec<u8>) {
         let Ok((msg, _)) = coord::wire::decode(&bytes) else { return };
         let now = self.now;
-        self.horizon_dirty |= horizon::ACCEL;
+        self.horizons.mark(horizon::ACCEL);
         let Some(acc) = self.accel.as_mut() else { return };
         let mgr: &mut dyn ResourceManager = acc;
         match msg {
@@ -1347,7 +1468,7 @@ impl Platform {
                 let dom = DomId(local_key as u32);
                 if let Ok(w) = self.sched.weight(dom) {
                     let new = (w as i64 + delta as i64).clamp(1, 65_535) as u32;
-                    self.horizon_dirty |= horizon::SCHED;
+                    self.horizons.mark(horizon::SCHED);
                     let _ = self.sched.set_weight(dom, new);
                     self.coord.tunes_applied += 1;
                     let now = self.now;
@@ -1358,7 +1479,7 @@ impl Platform {
                 let flow = FlowId(local_key as u32);
                 let cur = self.ixp.flow_threads(flow) as i64;
                 let new = (cur + delta as i64).clamp(1, 16) as u32;
-                self.horizon_dirty |= horizon::IXP;
+                self.horizons.mark(horizon::IXP);
                 self.ixp.set_flow_threads(flow, new);
                 self.coord.tunes_applied += 1;
             }
@@ -1376,7 +1497,7 @@ impl Platform {
                 let n = coord::wire::encode(&msg, &mut buf);
                 self.coord.bytes_sent += n as u64;
                 let now = self.now;
-                self.horizon_dirty |= horizon::ACCEL_MBX;
+                self.horizons.mark(horizon::ACCEL_MBX);
                 self.accel_mbx.send(now, buf);
             }
             Action::ApplyTrigger { island, local_key } if island == ACCEL => {
@@ -1388,7 +1509,7 @@ impl Platform {
                 let n = coord::wire::encode(&msg, &mut buf);
                 self.coord.bytes_sent += n as u64;
                 let now = self.now;
-                self.horizon_dirty |= horizon::ACCEL_MBX;
+                self.horizons.mark(horizon::ACCEL_MBX);
                 self.accel_mbx.send(now, buf);
             }
             Action::ApplyTrigger { island, local_key } if island == X86 => {
@@ -1399,7 +1520,7 @@ impl Platform {
                         self.sched.credit(dom));
                 }
                 let now = self.now;
-                self.horizon_dirty |= horizon::SCHED;
+                self.horizons.mark(horizon::SCHED);
                 if let Ok(evs) = self.sched.boost_front(now, dom) {
                     self.absorb_sched(evs);
                     // §3.3: the x86 island translates the preemptive
@@ -1425,7 +1546,7 @@ impl Platform {
             self.vms[slot].inflight_rx += 1;
             self.delivered += 1;
             let now = self.now;
-            self.horizon_dirty |= horizon::IXP;
+            self.horizons.mark(horizon::IXP);
             let evs = self.ixp.host_ack(now, flow, 1);
             self.absorb_ixp(evs);
             self.route_into_guest(vm, pkt);
@@ -1454,7 +1575,7 @@ impl Platform {
             self.delivered += 1;
             if let Some(f) = flow {
                 let now = self.now;
-                self.horizon_dirty |= horizon::IXP;
+                self.horizons.mark(horizon::IXP);
                 let evs = self.ixp.host_ack(now, f, 1);
                 self.absorb_ixp(evs);
             }
@@ -1492,7 +1613,7 @@ impl Platform {
         let now = self.now;
         // `usage_snapshot` flushes accounting state and `set_cap` below
         // can reshape the runqueue; both live behind the sched bit.
-        self.horizon_dirty |= horizon::SCHED;
+        self.horizons.mark(horizon::SCHED);
         let snap = self.sched.usage_snapshot();
         let mut samples: Vec<DomainSample> = Vec::new();
         let mut total_pct = 0.0;
@@ -1539,12 +1660,18 @@ impl Platform {
                 .push(now, self.ixp.flow_queue_bytes(flow) as f64);
         }
         if now + self.sample_period <= self.run_end {
-            self.horizon_dirty |= horizon::QUEUE;
+            self.horizons.mark(horizon::QUEUE);
             self.q.schedule(now + self.sample_period, Ev::Sample);
         }
     }
 
-    fn build_report(&mut self, duration: Nanos, events: u64, wall_micros: u64) -> RunReport {
+    fn build_report(
+        &mut self,
+        duration: Nanos,
+        stats: pdes::PdesStats,
+        wall_micros: u64,
+    ) -> RunReport {
+        let events = stats.events;
         let snap = self.sched.usage_snapshot();
         let mut cpu = Vec::new();
         let mut total = 0.0;
@@ -1700,6 +1827,7 @@ impl Platform {
                     0.0
                 },
             },
+            events_by_island: stats.island_events(),
         }
     }
 

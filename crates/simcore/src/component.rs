@@ -1,0 +1,196 @@
+//! The [`Component`] contract every event source implements, and the
+//! [`HorizonCache`] the master loop uses to pick the next source.
+//!
+//! Before this module, the platform's run loop hand-threaded nine event
+//! sources through a `match`: each source had its own peek call, its own
+//! scratch buffer, and its own arm. [`Component`] names the two
+//! operations that loop actually needs —
+//!
+//! * [`next_event_time`](Component::next_event_time): the earliest
+//!   simulated instant at which the component would change state on its
+//!   own (its *horizon*; `None` when idle), and
+//! * [`advance`](Component::advance): consume everything due at `now`,
+//!   appending the externally visible results to `out`,
+//!
+//! — so schedulers, network islands, DMA links, mailbox lanes,
+//! retransmission timers and accelerators all present one shape to the
+//! loop, and a registry can iterate them instead of a hand-written match.
+//!
+//! [`HorizonCache`] is the per-component state the PR-5 dirty bitmask
+//! grew into: one cached horizon slot per component plus a dirty mask,
+//! with the argmin rule (earliest time, lowest index breaks ties) that
+//! fixes the deterministic dispatch order.
+
+use crate::Nanos;
+
+/// An event source the master loop can schedule: anything with a
+/// well-defined next event time that can be advanced to a timestamp.
+///
+/// # Contract
+///
+/// * **Horizon validity** — after `advance(now, …)` returns, the new
+///   [`next_event_time`](Self::next_event_time) must be `>= now`: a
+///   component never retroactively discovers work in the past. The
+///   conformance property in `crates/bench/tests/determinism.rs` checks
+///   this for every island device.
+/// * **Purity of the peek** — `next_event_time` takes `&self` and must
+///   not mutate observable state; the loop may call it any number of
+///   times between advances (the horizon cache calls it only when the
+///   component is marked dirty).
+/// * **Determinism** — identical call sequences produce identical events
+///   in identical order; any randomness comes from seeded state inside
+///   the component.
+pub trait Component {
+    /// What the component emits when advanced (scheduler completions,
+    /// classified packets, delivered frames, …).
+    type Event;
+
+    /// Earliest simulated time at which this component has work, or
+    /// `None` when idle. The master loop never advances a component past
+    /// another component's horizon.
+    fn next_event_time(&self) -> Option<Nanos>;
+
+    /// Advances internal state to `now`, appending externally visible
+    /// events to `out`. Called only with `now` equal to the component's
+    /// own horizon (the loop dispatches exactly at event times).
+    fn advance(&mut self, now: Nanos, out: &mut Vec<Self::Event>);
+}
+
+/// Cached horizons for `N` components plus a dirty mask: the master
+/// loop's working memory.
+///
+/// Each slot holds the component's last computed horizon
+/// ([`Nanos::MAX`] = idle). Code that mutates a component's timing state
+/// marks its bit with [`mark`](Self::mark); the loop drains the mask
+/// with [`take_dirty`](Self::take_dirty), recomputes only marked slots
+/// via [`set`](Self::set), and picks the next dispatch with
+/// [`earliest`](Self::earliest). The steady-state cost is a min over
+/// `N` array slots rather than `N` virtual calls.
+#[derive(Debug, Clone)]
+pub struct HorizonCache<const N: usize> {
+    slots: [Nanos; N],
+    dirty: u32,
+}
+
+impl<const N: usize> HorizonCache<N> {
+    /// Mask with every component bit set.
+    pub const ALL: u32 = if N >= 32 { u32::MAX } else { (1u32 << N) - 1 };
+
+    /// A cache with every slot idle and every bit dirty (the first
+    /// refresh computes all horizons from scratch).
+    pub fn new() -> Self {
+        HorizonCache { slots: [Nanos::MAX; N], dirty: Self::ALL }
+    }
+
+    /// Marks the components in `bits` as needing a horizon recompute.
+    #[inline]
+    pub fn mark(&mut self, bits: u32) {
+        self.dirty |= bits;
+    }
+
+    /// Marks every component dirty (used after bulk reconfiguration).
+    #[inline]
+    pub fn mark_all(&mut self) {
+        self.dirty = Self::ALL;
+    }
+
+    /// Returns and clears the dirty mask; the caller refreshes exactly
+    /// the returned bits.
+    #[inline]
+    pub fn take_dirty(&mut self) -> u32 {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// The dirty mask without clearing it.
+    #[inline]
+    pub fn dirty(&self) -> u32 {
+        self.dirty
+    }
+
+    /// The cached horizon of component `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Nanos {
+        self.slots[i]
+    }
+
+    /// Stores a freshly computed horizon for component `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, t: Nanos) {
+        self.slots[i] = t;
+    }
+
+    /// The earliest cached horizon and its component index, with the
+    /// deterministic tie-break: at equal times the lowest index wins
+    /// (strict `<` during the scan). Returns `(Nanos::MAX, N)` when
+    /// every component is idle.
+    #[inline]
+    pub fn earliest(&self) -> (Nanos, usize) {
+        let mut t = Nanos::MAX;
+        let mut idx = N;
+        for (i, &h) in self.slots.iter().enumerate() {
+            if h < t {
+                t = h;
+                idx = i;
+            }
+        }
+        (t, idx)
+    }
+}
+
+impl<const N: usize> Default for HorizonCache<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventQueue;
+
+    #[test]
+    fn new_cache_is_fully_dirty_and_idle() {
+        let mut c: HorizonCache<9> = HorizonCache::new();
+        assert_eq!(c.take_dirty(), (1 << 9) - 1);
+        assert_eq!(c.take_dirty(), 0);
+        assert_eq!(c.earliest(), (Nanos::MAX, 9));
+    }
+
+    #[test]
+    fn earliest_breaks_ties_toward_the_lowest_index() {
+        let mut c: HorizonCache<4> = HorizonCache::new();
+        c.set(1, Nanos::from_micros(5));
+        c.set(3, Nanos::from_micros(5));
+        assert_eq!(c.earliest(), (Nanos::from_micros(5), 1));
+        c.set(0, Nanos::from_micros(5));
+        assert_eq!(c.earliest(), (Nanos::from_micros(5), 0));
+        c.set(2, Nanos::from_micros(4));
+        assert_eq!(c.earliest(), (Nanos::from_micros(4), 2));
+    }
+
+    #[test]
+    fn mark_accumulates_until_taken() {
+        let mut c: HorizonCache<3> = HorizonCache::new();
+        c.take_dirty();
+        c.mark(0b001);
+        c.mark(0b100);
+        assert_eq!(c.dirty(), 0b101);
+        assert_eq!(c.take_dirty(), 0b101);
+        assert_eq!(c.dirty(), 0);
+    }
+
+    #[test]
+    fn event_queue_is_a_component() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert_eq!(Component::next_event_time(&q), None);
+        q.schedule(Nanos::from_micros(3), 7);
+        q.schedule(Nanos::from_micros(1), 9);
+        let t = Component::next_event_time(&q).unwrap();
+        assert_eq!(t, Nanos::from_micros(1));
+        let mut out = Vec::new();
+        q.advance(t, &mut out);
+        assert_eq!(out, vec![(Nanos::from_micros(1), 9)]);
+        // One event per advance: the head at 3 µs is still queued.
+        assert_eq!(Component::next_event_time(&q), Some(Nanos::from_micros(3)));
+    }
+}

@@ -29,12 +29,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod component;
 mod queue;
 mod rng;
 pub mod stats;
 mod time;
 pub mod trace;
 
+pub use component::{Component, HorizonCache};
 pub use queue::{EventKey, EventQueue};
 pub use rng::SimRng;
 pub use time::{Cycles, Nanos};

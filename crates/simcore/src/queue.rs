@@ -295,6 +295,17 @@ impl<E> EventQueue<E> {
         self.stored
     }
 
+    /// Pops the head event if it is due at or before `now`, appending it
+    /// (with its timestamp) to `out`. One event per call: equal-time
+    /// events keep their FIFO order across successive advances, so the
+    /// master loop's tie-break stays with the loop, not the queue.
+    fn advance_due(&mut self, now: Nanos, out: &mut Vec<(Nanos, E)>) {
+        if self.head.is_some_and(|t| t <= now) {
+            let (t, e) = self.pop().expect("head is live");
+            out.push((t, e));
+        }
+    }
+
     /// Recomputes the cached head after the previous minimum was removed.
     /// Requires `len > 0`.
     fn fix_head(&mut self) {
@@ -478,6 +489,22 @@ impl<E> EventQueue<E> {
             self.insert(e);
         }
         debug_assert_eq!(self.stored, self.len);
+    }
+}
+
+/// The master queue is itself an event source to the registry-driven
+/// loop: its horizon is the head's timestamp, and advancing it pops the
+/// due head. Events carry their timestamp so handlers scheduled in the
+/// past (never produced, but type-honest) remain observable.
+impl<E> crate::Component for EventQueue<E> {
+    type Event = (Nanos, E);
+
+    fn next_event_time(&self) -> Option<Nanos> {
+        self.peek_time()
+    }
+
+    fn advance(&mut self, now: Nanos, out: &mut Vec<(Nanos, E)>) {
+        self.advance_due(now, out);
     }
 }
 

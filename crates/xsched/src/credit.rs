@@ -1107,6 +1107,22 @@ impl CreditScheduler {
     }
 }
 
+/// The scheduler as a master-loop event source: its horizon is the next
+/// tick / slice expiry / burst completion, and advancing it emits the
+/// completions that occurred on the way. (The x86 island's component
+/// face — the platform registry drives every island through this trait.)
+impl simcore::Component for CreditScheduler {
+    type Event = SchedEvent;
+
+    fn next_event_time(&self) -> Option<Nanos> {
+        CreditScheduler::next_event_time(self)
+    }
+
+    fn advance(&mut self, now: Nanos, out: &mut Vec<SchedEvent>) {
+        self.on_timer(now, out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -169,6 +169,46 @@ for r in rows:
 print("    ok: a1_price_of_anarchy.csv shape verified")
 EOF
 
+echo "==> PDES island-threads smoke pass (i1 + a1 byte-identity vs serial)"
+pdes_tmp=$(mktemp -d)
+for sel in i1 a1; do
+    ./target/release/experiments --smoke "$sel" > /dev/null
+    cp results/BENCH_experiments.json "$pdes_tmp/${sel}_serial.json"
+    for csv in $(python3 -c "import json; print(' '.join(json.load(open('results/BENCH_experiments.json'))['tables']))"); do
+        cp "results/${csv}.csv" "$pdes_tmp/${csv}_serial.csv"
+    done
+    ./target/release/experiments --smoke --island-threads 3 "$sel" > /dev/null
+    for csv in $(python3 -c "import json; print(' '.join(json.load(open('results/BENCH_experiments.json'))['tables']))"); do
+        cmp "results/${csv}.csv" "$pdes_tmp/${csv}_serial.csv" || {
+            echo "${csv}.csv differs between --island-threads 1 and 3" >&2
+            exit 1
+        }
+    done
+    python3 - "$pdes_tmp/${sel}_serial.json" results/BENCH_experiments.json <<'EOF'
+import json, sys
+serial = json.load(open(sys.argv[1]))
+par = json.load(open(sys.argv[2]))
+si, pi = serial["events_by_island"], par["events_by_island"]
+for k in ("x86", "ixp", "accel", "sync_points"):
+    if si[k] != pi[k]:
+        sys.exit(f"events_by_island.{k} diverged: serial {si[k]} vs parallel {pi[k]}")
+sr, pr = serial["sim_rate"], par["sim_rate"]
+if sr["events"] != pr["events"]:
+    sys.exit(f"event counts diverged: serial {sr['events']} vs parallel {pr['events']}")
+# Warn-only rate comparison: island servicing is bounded overhead, not a
+# speedup (dispatch order is conserved), so only flag gross regressions.
+if sr["events_per_sec"] > 0:
+    ratio = pr["events_per_sec"] / sr["events_per_sec"]
+    print(f"    island-threads 3 rate: {ratio:.2f}x serial "
+          f"({pr['events_per_sec']:.0f} vs {sr['events_per_sec']:.0f} events/s)")
+    if ratio < 0.80:
+        print(f"    warning: parallel-islands pass ran {1 - ratio:.0%} "
+              f"slower than serial", file=sys.stderr)
+print(f"    ok: byte-identical CSVs and island counts for selection")
+EOF
+done
+rm -rf "$pdes_tmp"
+
 echo "==> chaos shrink replay check (SIMTEST_SEED reproducibility)"
 chaos_log=$(mktemp)
 SIMTEST_CHAOS_FORCE_FAIL=1 cargo test -q --offline \
