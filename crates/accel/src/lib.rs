@@ -401,7 +401,7 @@ impl AccelIsland {
         if t.forced || t.queue.len() >= t.batch_budget as usize {
             return true;
         }
-        t.queue.front().map_or(false, |h| now >= h.enq + self.cfg.batch_timeout)
+        t.queue.front().is_some_and(|h| now >= h.enq + self.cfg.batch_timeout)
     }
 
     fn form_and_launch(&mut self, now: Nanos) {

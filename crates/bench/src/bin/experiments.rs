@@ -54,6 +54,9 @@ fn selection(which: &str) -> Option<Vec<&'static str>> {
         "i1" => Some(vec!["i1_inference_batching"]),
         "i2" => Some(vec!["i2_batch_preemption"]),
         "a1" => Some(vec!["a1_price_of_anarchy"]),
+        "energy" => Some(vec!["e1_energy_qos", "e2_energy_ablation"]),
+        "e1" => Some(vec!["e1_energy_qos"]),
+        "e2" => Some(vec!["e2_energy_ablation"]),
         id if ids.contains(&id) => Some(vec![ids[ids.iter().position(|x| *x == id).unwrap()]]),
         _ => None,
     }

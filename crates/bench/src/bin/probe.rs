@@ -1,16 +1,18 @@
 //! Calibration probe: quick, detailed looks at the headline scenarios.
 //!
-//! Usage: `probe [all|rubis|static|mplayer|trigger]`
+//! Usage: `probe [all|rubis|static|mplayer|trigger|energy]`
 //!
 //! * `rubis` — baseline vs coordinated read-write mix with per-type stats
 //! * `static` — static weight assignments (sanity-checks the scheduler's
 //!   sensitivity outside the coordination loop)
 //! * `mplayer` — the three Figure 6 weight configurations
 //! * `trigger` — Figure 7 / Table 3 buffer-trigger runs
+//! * `energy` — the E1 arms (frozen metering vs coordinated knob walk)
+//!   with joules, knob residency and the controller counters
 
 use bench::summary;
 use coord::PolicyKind;
-use platform::{MplayerScenario, PlatformBuilder, RubisScenario};
+use platform::{EnergyConfig, MplayerScenario, PlatformBuilder, RubisScenario};
 use simcore::Nanos;
 
 fn rubis(policy: PolicyKind, label: &str) {
@@ -63,6 +65,22 @@ fn mplayer(w1: u32, w2: u32) {
     println!("  drops {} delivered {}", r.net.ixp_drops, r.net.delivered);
 }
 
+fn energy(cfg: EnergyConfig, label: &str) {
+    let mut sim = PlatformBuilder::new()
+        .seed(42)
+        .policy(PolicyKind::RequestType)
+        .energy(cfg)
+        .build_rubis(RubisScenario::read_write_mix(8));
+    let r = sim.run(Nanos::from_secs(300));
+    println!("== energy {label}");
+    println!(
+        "  throughput {:.1} req/s  worst p99 {:.1} ms",
+        r.rubis.throughput,
+        r.rubis.responses.overall_percentile(0.99)
+    );
+    summary::print_energy(&r);
+}
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     if which == "all" || which == "rubis" {
@@ -78,6 +96,10 @@ fn main() {
         mplayer(256, 256);
         mplayer(384, 512);
         mplayer(384, 640);
+    }
+    if which == "energy" {
+        energy(EnergyConfig::frozen(800.0), "frozen (metering only)");
+        energy(EnergyConfig::coordinated(800.0), "coordinated, target 800 ms");
     }
     if which == "trigger" {
         for policy in [PolicyKind::None, PolicyKind::BufferTrigger] {

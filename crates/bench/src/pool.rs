@@ -85,7 +85,16 @@ where
     }
     let slots: Vec<Mutex<Option<T>>> =
         items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Each slot holds the item's result or the panic payload `f` died
+    // with. A worker panic used to poison its result mutex and surface
+    // at the merge as `PoisonError` on `into_inner().unwrap()` — masking
+    // the actual panic message and the item it belongs to. Catching the
+    // unwind per item keeps the real payload (AssertUnwindSafe is sound
+    // here: a failed item's slot stays `None` and is never read as a
+    // result).
+    type Caught = Box<dyn std::any::Any + Send>;
+    let results: Vec<Mutex<Option<Result<U, Caught>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..jobs.min(n) {
@@ -95,14 +104,27 @@ where
                     break;
                 }
                 let item = slots[i].lock().unwrap().take().expect("item claimed once");
-                let out = f(item);
+                let out =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)));
                 *results[i].lock().unwrap() = Some(out);
             });
         }
     });
     results
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker filled its slot"))
+        .enumerate()
+        .map(|(i, m)| {
+            match m.into_inner().unwrap_or_else(|e| e.into_inner()) {
+                Some(Ok(out)) => out,
+                // Re-raise the first failed item's original panic, tagged
+                // with which item it was (completion order can differ).
+                Some(Err(payload)) => {
+                    eprintln!("parallel_map: worker panicked on item {i}");
+                    std::panic::resume_unwind(payload)
+                }
+                None => panic!("parallel_map: item {i} produced no result"),
+            }
+        })
         .collect()
 }
 
@@ -137,6 +159,30 @@ mod tests {
         assert_eq!(parallel_map(16, vec![1, 2], |x| x + 1), vec![2, 3]);
         assert_eq!(parallel_map(16, vec![7], |x| x + 1), vec![8]);
         assert_eq!(parallel_map(16, Vec::<u8>::new(), |x| x), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn worker_panic_propagates_its_original_payload() {
+        // Regression: a panicking `f` used to poison its result slot and
+        // surface at the merge as `PoisonError`, hiding the real message.
+        let result = std::panic::catch_unwind(|| {
+            parallel_map(4, (0..16u64).collect::<Vec<_>>(), |x| {
+                if x == 9 {
+                    panic!("simulation diverged on seed {x}");
+                }
+                x
+            })
+        });
+        let payload = result.expect_err("panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("simulation diverged on seed 9"),
+            "original panic payload was masked: {msg:?}"
+        );
     }
 
     #[test]

@@ -157,6 +157,39 @@ pub fn print_cpu(r: &RunReport, detail: bool) {
     }
 }
 
+/// Prints the energy-dimension accounting of a run (no-op when the
+/// energy dimension was off — the default).
+pub fn print_energy(r: &RunReport) {
+    let e = &r.energy;
+    if !e.enabled {
+        return;
+    }
+    println!(
+        "  energy: {:.1} J (cpu {:.1} / ixp {:.1})  target p99 {:.0} ms  \
+         violations {} descents {} backoffs {} freezes {}",
+        e.total_joules(),
+        e.cpu_joules,
+        e.ixp_joules,
+        e.p99_target_ms,
+        e.violations,
+        e.descents,
+        e.backoffs,
+        e.freezes,
+    );
+    let total: u64 = e.residency.iter().map(|&(_, n)| n).sum();
+    let mix = e
+        .residency
+        .iter()
+        .filter(|&&(_, n)| n > 0)
+        .map(|&(f, n)| format!("{f}%×{:.0}%", n as f64 * 100.0 / total.max(1) as f64))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!(
+        "  knobs: {} applied, final dvfs {}% ways {} membw {}%  residency {}",
+        e.knob_actions, e.final_dvfs_percent, e.final_ways, e.final_membw_percent, mix,
+    );
+}
+
 /// Prints the per-player frame-rate lines.
 pub fn print_players(r: &RunReport) {
     for p in &r.players {

@@ -10,6 +10,7 @@
 //! platform dispatches to the appropriate [`ResourceManager`]
 //! (crate::ResourceManager).
 
+use crate::energy::KnobAxis;
 use crate::limits::{EntityPolicer, PolicerConfig};
 use crate::{CoordError, CoordMsg, EntityId, IslandId, IslandKind, Registry};
 use simcore::Nanos;
@@ -34,6 +35,17 @@ pub enum Action {
         /// Island-local identity of the target entity.
         local_key: u64,
     },
+    /// Move one energy-knob axis to an absolute rung on `island`.
+    ApplyKnob {
+        /// Island that must act.
+        island: IslandId,
+        /// Island-local identity of the target entity.
+        local_key: u64,
+        /// The lattice axis to move.
+        axis: KnobAxis,
+        /// Absolute rung index (0 = full performance).
+        rung: u8,
+    },
 }
 
 /// Controller counters, for coordination-overhead reporting.
@@ -53,6 +65,8 @@ pub struct ControllerStats {
     pub throttled: u64,
     /// Admitted tunes whose delta the policer discounted.
     pub discounted: u64,
+    /// Energy-knob settings routed.
+    pub knobs: u64,
 }
 
 /// The global coordination controller (the Dom0 role).
@@ -196,6 +210,22 @@ impl Controller {
                 self.stats.triggers += 1;
                 Ok(actions)
             }
+            CoordMsg::SetKnob { entity, axis, rung, target } => {
+                // Knob settings originate from the platform's own energy
+                // controller, not from tenants, so they bypass the
+                // adversary policer (which meters the tenant-facing
+                // Tune/Trigger verbs) — but still resolve through the
+                // registry like every other coordination message.
+                let actions =
+                    self.resolve(entity, target, |island, local_key| Action::ApplyKnob {
+                        island,
+                        local_key,
+                        axis,
+                        rung,
+                    })?;
+                self.stats.knobs += 1;
+                Ok(actions)
+            }
             CoordMsg::Ack { .. } => Ok(Vec::new()),
         }
     }
@@ -312,6 +342,37 @@ mod tests {
         assert_eq!(actions.len(), 2);
         assert!(actions.contains(&Action::ApplyTrigger { island: IslandId(0), local_key: 1 }));
         assert!(actions.contains(&Action::ApplyTrigger { island: IslandId(1), local_key: 0 }));
+    }
+
+    #[test]
+    fn set_knob_resolves_like_a_tune() {
+        let (mut c, e) = setup();
+        let actions = c.handle(
+            Nanos::ZERO,
+            CoordMsg::SetKnob { entity: e, axis: KnobAxis::Dvfs, rung: 2, target: None },
+        );
+        assert_eq!(
+            actions,
+            vec![Action::ApplyKnob {
+                island: IslandId(0),
+                local_key: 1,
+                axis: KnobAxis::Dvfs,
+                rung: 2
+            }]
+        );
+        assert_eq!(c.stats().knobs, 1);
+        // Unknown entities are rejected exactly like tunes.
+        let none = c.handle(
+            Nanos::ZERO,
+            CoordMsg::SetKnob {
+                entity: EntityId(99),
+                axis: KnobAxis::CacheWays,
+                rung: 1,
+                target: None,
+            },
+        );
+        assert!(none.is_empty());
+        assert_eq!(c.stats().rejected, 1);
     }
 
     #[test]

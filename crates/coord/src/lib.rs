@@ -44,6 +44,11 @@
 //! * [`hierarchy`] — the paper's future-work extension: a two-level
 //!   coordination fabric (zone controllers + root directory) for
 //!   large-scale multi-island platforms.
+//! * [`EnergyController`] — the QoS-constrained energy dimension: a
+//!   hill-climbing walk of the x86 island's knob lattice (DVFS rung ×
+//!   cache ways × bandwidth share, [`CoordMsg::SetKnob`]) downward in
+//!   power while per-tenant p99 stays under target, frozen by the
+//!   [`OscillationDetector`] when a marginal tenant makes it knob-flap.
 //!
 //! ## Example
 //!
@@ -64,6 +69,7 @@
 #![forbid(unsafe_code)]
 
 mod controller;
+mod energy;
 mod entity;
 pub mod hierarchy;
 mod error;
@@ -75,6 +81,9 @@ mod reliable;
 pub mod wire;
 
 pub use controller::{Action, Controller, ControllerStats};
+pub use energy::{
+    EnergyController, EnergyControllerConfig, KnobAxis, KnobPoint, KnobSetting,
+};
 pub use entity::{EntityId, Registry};
 pub use error::CoordError;
 pub use island::{IslandId, IslandKind, ResourceManager};

@@ -1,5 +1,6 @@
 //! Coordination message vocabulary.
 
+use crate::energy::KnobAxis;
 use crate::{EntityId, IslandId, IslandKind};
 
 /// Messages exchanged between islands over the coordination channel.
@@ -49,6 +50,23 @@ pub enum CoordMsg {
         /// Sequence number being acknowledged.
         seq: u32,
     },
+    /// Energy-knob setting: moves one axis of the x86 island's energy
+    /// lattice (DVFS rung, cache ways, bandwidth share) to an absolute
+    /// rung. Issued by the platform's [`EnergyController`]
+    /// (crate::EnergyController), riding the same channel and registry as
+    /// Tune/Trigger; the receiving island translates the rung into its
+    /// own operating point.
+    SetKnob {
+        /// Target entity (for DVFS the entity's whole island acts).
+        entity: EntityId,
+        /// The lattice axis to move.
+        axis: KnobAxis,
+        /// Absolute rung index (0 = full performance).
+        rung: u8,
+        /// Island that should act; `None` addresses every island the
+        /// entity is bound on.
+        target: Option<IslandId>,
+    },
 }
 
 impl CoordMsg {
@@ -62,7 +80,8 @@ impl CoordMsg {
         match self {
             CoordMsg::RegisterEntity { entity, .. }
             | CoordMsg::Tune { entity, .. }
-            | CoordMsg::Trigger { entity, .. } => Some(*entity),
+            | CoordMsg::Trigger { entity, .. }
+            | CoordMsg::SetKnob { entity, .. } => Some(*entity),
             CoordMsg::RegisterIsland { .. } | CoordMsg::Ack { .. } => None,
         }
     }
@@ -76,6 +95,18 @@ mod tests {
     fn urgency() {
         assert!(CoordMsg::Trigger { entity: EntityId(1), target: None }.is_urgent());
         assert!(!CoordMsg::Tune { entity: EntityId(1), delta: 1, target: None }.is_urgent());
+    }
+
+    #[test]
+    fn knob_settings_are_not_urgent_and_carry_their_entity() {
+        let m = CoordMsg::SetKnob {
+            entity: EntityId(2),
+            axis: KnobAxis::Dvfs,
+            rung: 3,
+            target: None,
+        };
+        assert!(!m.is_urgent(), "knob moves are deliberate, not preemptive");
+        assert_eq!(m.entity(), Some(EntityId(2)));
     }
 
     #[test]

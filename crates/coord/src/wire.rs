@@ -5,6 +5,7 @@
 //! so they must be tiny and self-delimiting: one tag byte followed by
 //! fixed-width little-endian fields. A `Tune` is 11 bytes.
 
+use crate::energy::KnobAxis;
 use crate::{CoordMsg, EntityId, IslandId, IslandKind};
 use std::error::Error;
 use std::fmt;
@@ -19,6 +20,8 @@ pub enum CodecError {
     BadTag(u8),
     /// The island-kind byte is invalid.
     BadKind(u8),
+    /// The knob-axis byte is invalid.
+    BadAxis(u8),
 }
 
 impl fmt::Display for CodecError {
@@ -27,6 +30,7 @@ impl fmt::Display for CodecError {
             CodecError::Truncated => write!(f, "truncated message"),
             CodecError::BadTag(t) => write!(f, "unknown message tag {t:#x}"),
             CodecError::BadKind(k) => write!(f, "unknown island kind {k:#x}"),
+            CodecError::BadAxis(a) => write!(f, "unknown knob axis {a:#x}"),
         }
     }
 }
@@ -39,6 +43,7 @@ const TAG_TUNE: u8 = 3;
 const TAG_TRIGGER: u8 = 4;
 const TAG_ACK: u8 = 5;
 const TAG_FRAME: u8 = 6;
+const TAG_SET_KNOB: u8 = 7;
 
 /// Sentinel for an unaddressed (broadcast) target.
 const TARGET_NONE: u16 = u16::MAX;
@@ -58,6 +63,23 @@ fn kind_to_byte(k: IslandKind) -> u8 {
         IslandKind::Accelerator => 2,
         IslandKind::Storage => 3,
     }
+}
+
+fn axis_to_byte(a: KnobAxis) -> u8 {
+    match a {
+        KnobAxis::Dvfs => 0,
+        KnobAxis::CacheWays => 1,
+        KnobAxis::MembwShare => 2,
+    }
+}
+
+fn axis_from_byte(b: u8) -> Result<KnobAxis, CodecError> {
+    Ok(match b {
+        0 => KnobAxis::Dvfs,
+        1 => KnobAxis::CacheWays,
+        2 => KnobAxis::MembwShare,
+        other => return Err(CodecError::BadAxis(other)),
+    })
 }
 
 fn kind_from_byte(b: u8) -> Result<IslandKind, CodecError> {
@@ -103,6 +125,13 @@ pub fn encode(msg: &CoordMsg, buf: &mut Vec<u8>) -> usize {
         CoordMsg::Ack { seq } => {
             buf.push(TAG_ACK);
             buf.extend_from_slice(&seq.to_le_bytes());
+        }
+        CoordMsg::SetKnob { entity, axis, rung, target } => {
+            buf.push(TAG_SET_KNOB);
+            buf.extend_from_slice(&entity.0.to_le_bytes());
+            buf.push(axis_to_byte(axis));
+            buf.push(rung);
+            buf.extend_from_slice(&target_to_u16(target).to_le_bytes());
         }
     }
     buf.len() - start
@@ -195,6 +224,14 @@ pub fn decode(buf: &[u8]) -> Result<(CoordMsg, usize), CodecError> {
             let seq = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
             Ok((CoordMsg::Ack { seq }, 5))
         }
+        TAG_SET_KNOB => {
+            let b = take(8)?;
+            let entity = EntityId(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+            let axis = axis_from_byte(b[4])?;
+            let rung = b[5];
+            let target = target_from_u16(u16::from_le_bytes([b[6], b[7]]));
+            Ok((CoordMsg::SetKnob { entity, axis, rung, target }, 9))
+        }
         other => Err(CodecError::BadTag(other)),
     }
 }
@@ -236,6 +273,34 @@ mod tests {
         roundtrip(CoordMsg::Trigger { entity: EntityId(0), target: None });
         roundtrip(CoordMsg::Trigger { entity: EntityId(0), target: Some(IslandId(0)) });
         roundtrip(CoordMsg::Ack { seq: 42 });
+        for axis in KnobAxis::ALL {
+            roundtrip(CoordMsg::SetKnob {
+                entity: EntityId(3),
+                axis,
+                rung: u8::MAX,
+                target: Some(IslandId(1)),
+            });
+            roundtrip(CoordMsg::SetKnob { entity: EntityId(0), axis, rung: 0, target: None });
+        }
+    }
+
+    #[test]
+    fn set_knob_is_nine_bytes_and_rejects_bad_axes() {
+        let mut buf = Vec::new();
+        let n = encode(
+            &CoordMsg::SetKnob {
+                entity: EntityId(1),
+                axis: KnobAxis::CacheWays,
+                rung: 2,
+                target: None,
+            },
+            &mut buf,
+        );
+        assert_eq!(n, 9);
+        assert_eq!(
+            decode(&[TAG_SET_KNOB, 0, 0, 0, 0, 9, 0, 0, 0]),
+            Err(CodecError::BadAxis(9))
+        );
     }
 
     #[test]
@@ -315,6 +380,12 @@ mod tests {
             CoordMsg::Tune { entity: EntityId(1), delta: i32::MIN, target: None },
             CoordMsg::Trigger { entity: EntityId(1), target: Some(IslandId(9)) },
             CoordMsg::Ack { seq: u32::MAX },
+            CoordMsg::SetKnob {
+                entity: EntityId(1),
+                axis: KnobAxis::MembwShare,
+                rung: u8::MAX,
+                target: None,
+            },
         ];
         for m in msgs {
             let mut buf = Vec::new();

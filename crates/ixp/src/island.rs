@@ -696,8 +696,7 @@ mod tests {
 
     #[test]
     fn window_backpressure_queues_in_dram() {
-        let mut cfg = IxpConfig::default();
-        cfg.host_window = 2;
+        let cfg = IxpConfig { host_window: 2, ..IxpConfig::default() };
         let mut island = IxpIsland::new(cfg);
         let flow = island.register_flow(1);
         for i in 0..10 {
@@ -721,14 +720,16 @@ mod tests {
 
     #[test]
     fn buffer_alarm_fires_on_threshold() {
-        let mut cfg = IxpConfig::default();
-        cfg.host_window = 0; // host never consumes
-        cfg.buffer_threshold = Some(6000); // four 1500-byte packets
+        let cfg = IxpConfig {
+            host_window: 0, // host never consumes
+            buffer_threshold: Some(6000), // four 1500-byte packets
+            ..IxpConfig::default()
+        };
         let mut island = IxpIsland::new(cfg);
         let flow = island.register_flow(1);
         let mut evs = Vec::new();
         for i in 0..10 {
-            evs.extend(island.rx_from_wire(Nanos::from_micros(i as u64 * 50), plain(i, 1)));
+            evs.extend(island.rx_from_wire(Nanos::from_micros(i * 50), plain(i, 1)));
         }
         evs.extend(drain(&mut island, Nanos::from_millis(10)));
         let alarms: Vec<_> = evs
@@ -746,8 +747,7 @@ mod tests {
     fn more_threads_drain_faster() {
         // Measure time to deliver a burst with 1 vs 6 flow threads.
         let time_to_drain = |threads: u32| {
-            let mut cfg = IxpConfig::default();
-            cfg.flow_threads = threads;
+            let cfg = IxpConfig { flow_threads: threads, ..IxpConfig::default() };
             let mut island = IxpIsland::new(cfg);
             island.register_flow(1);
             for i in 0..200 {
@@ -777,8 +777,7 @@ mod tests {
     #[test]
     fn dpi_slows_classification() {
         let latency = |dpi: bool| {
-            let mut cfg = IxpConfig::default();
-            cfg.dpi = dpi;
+            let cfg = IxpConfig { dpi, ..IxpConfig::default() };
             let mut island = IxpIsland::new(cfg);
             island.register_flow(1);
             let pkt = Packet::new(1, 1, 1500, AppTag::Http { class_id: 3, write: false });
@@ -811,8 +810,7 @@ mod tests {
 
     #[test]
     fn set_flow_threads_releases_backlog() {
-        let mut cfg = IxpConfig::default();
-        cfg.flow_threads = 0; // nothing drains initially
+        let cfg = IxpConfig { flow_threads: 0, ..IxpConfig::default() }; // nothing drains initially
         let mut island = IxpIsland::new(cfg);
         let flow = island.register_flow(1);
         for i in 0..5 {
@@ -827,8 +825,7 @@ mod tests {
 
     #[test]
     fn classified_event_carries_app_tag() {
-        let mut cfg = IxpConfig::default();
-        cfg.dpi = true;
+        let cfg = IxpConfig { dpi: true, ..IxpConfig::default() };
         let mut island = IxpIsland::new(cfg);
         island.register_flow(2);
         let pkt = Packet::new(1, 2, 800, AppTag::Http { class_id: 9, write: true });
@@ -883,8 +880,10 @@ mod tests {
     fn egress_threads_partition_outbound_bandwidth() {
         // Two VMs blast outbound traffic; the flow with more egress
         // threads transmits proportionally more in the same window.
-        let mut cfg = IxpConfig::default();
-        cfg.flow_poll = Nanos::from_millis(10); // one pkt per thread per 10ms
+        let cfg = IxpConfig {
+            flow_poll: Nanos::from_millis(10), // one pkt per thread per 10ms
+            ..IxpConfig::default()
+        };
         let mut island = IxpIsland::new(cfg);
         let fa = island.register_flow(1);
         let fb = island.register_flow(2);

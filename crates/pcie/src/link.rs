@@ -309,7 +309,7 @@ mod tests {
         };
         let mut l = HostLink::new(cfg);
         for i in 0..10 {
-            l.post_to_host(Nanos::from_micros(i), FlowId(0), pkt(i as u64, 100));
+            l.post_to_host(Nanos::from_micros(i), FlowId(0), pkt(i, 100));
         }
         let evs = drain_events(&mut l, Nanos::from_millis(1));
         let notifies: Vec<_> = evs

@@ -256,6 +256,55 @@ impl InferenceScenario {
     }
 }
 
+/// Configuration of the QoS-constrained energy dimension (DESIGN.md
+/// §2.15): which knob axes the [`coord::EnergyController`] may walk on
+/// the x86 island, and the per-tenant p99 response-time target the walk
+/// must respect. Constructed through [`EnergyConfig::coordinated`], the
+/// single-axis ablation constructors, or [`EnergyConfig::frozen`]
+/// (energy metering with every axis pinned at full performance — the
+/// accounting baseline the experiments compare against).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyConfig {
+    /// Per-tenant p99 response-time target in milliseconds.
+    pub p99_target_ms: f64,
+    /// Allow descent of the DVFS frequency/voltage ladder.
+    pub dvfs: bool,
+    /// Allow shrinking the DB cache-partition way count.
+    pub cache: bool,
+    /// Allow shrinking the memory-bandwidth partition share.
+    pub membw: bool,
+}
+
+impl EnergyConfig {
+    /// All three knob axes available to the controller (experiment E1's
+    /// coordinated arm).
+    pub fn coordinated(p99_target_ms: f64) -> Self {
+        EnergyConfig { p99_target_ms, dvfs: true, cache: true, membw: true }
+    }
+
+    /// DVFS ladder only (experiment E2 ablation).
+    pub fn dvfs_only(p99_target_ms: f64) -> Self {
+        EnergyConfig { p99_target_ms, dvfs: true, cache: false, membw: false }
+    }
+
+    /// Cache-way partition only (experiment E2 ablation).
+    pub fn cache_only(p99_target_ms: f64) -> Self {
+        EnergyConfig { p99_target_ms, dvfs: false, cache: true, membw: false }
+    }
+
+    /// Memory-bandwidth share only (experiment E2 ablation).
+    pub fn membw_only(p99_target_ms: f64) -> Self {
+        EnergyConfig { p99_target_ms, dvfs: false, cache: false, membw: true }
+    }
+
+    /// Energy accounting with no knob movement: every axis stays at full
+    /// performance. Both E1 baselines (uncapped and uncoordinated power
+    /// capping) run with this so all arms share one power model.
+    pub fn frozen(p99_target_ms: f64) -> Self {
+        EnergyConfig { p99_target_ms, dvfs: false, cache: false, membw: false }
+    }
+}
+
 /// Builder for a [`Platform`]. Collects the island- and channel-level
 /// knobs shared by all scenarios; `build_rubis` / `build_mplayer` /
 /// `build_inference` assemble a runnable simulation.
@@ -288,6 +337,7 @@ pub struct PlatformBuilder {
     pub(crate) policy_weights: Option<(i32, i32)>,
     pub(crate) trigger_rate: Option<f64>,
     pub(crate) power_cap: Option<(f64, Strategy)>,
+    pub(crate) energy: Option<EnergyConfig>,
     pub(crate) precise_accounting: bool,
     pub(crate) fault_profile: FaultProfile,
     pub(crate) reliable: Option<ReliableConfig>,
@@ -321,6 +371,7 @@ impl PlatformBuilder {
             policy_weights: None,
             trigger_rate: None,
             power_cap: None,
+            energy: None,
             precise_accounting: true,
             fault_profile: FaultProfile::none(),
             reliable: None,
@@ -413,6 +464,17 @@ impl PlatformBuilder {
     /// victims per `strategy`.
     pub fn power_cap(mut self, cap_watts: f64, strategy: Strategy) -> Self {
         self.power_cap = Some((cap_watts, strategy));
+        self
+    }
+
+    /// Enables the QoS-constrained energy dimension: the x86 island gets
+    /// a modelled DVFS/cache/bandwidth operating point, joules are
+    /// metered per island, and a [`coord::EnergyController`] walks the
+    /// knob lattice downward in power while per-tenant p99 stays under
+    /// `cfg.p99_target_ms` (axes per `cfg`). Off by default: a build
+    /// without this call is byte-identical to the seed baseline.
+    pub fn energy(mut self, cfg: EnergyConfig) -> Self {
+        self.energy = Some(cfg);
         self
     }
 
@@ -524,6 +586,20 @@ mod tests {
         assert_eq!(m.players[0].weight, 384);
         assert_eq!(m.players[1].weight, 512);
         assert_eq!(m.players[1].stream, StreamSpec::high());
+    }
+
+    #[test]
+    fn energy_config_constructors() {
+        let c = EnergyConfig::coordinated(400.0);
+        assert!(c.dvfs && c.cache && c.membw);
+        assert_eq!(c.p99_target_ms, 400.0);
+        let d = EnergyConfig::dvfs_only(400.0);
+        assert!(d.dvfs && !d.cache && !d.membw);
+        let f = EnergyConfig::frozen(400.0);
+        assert!(!f.dvfs && !f.cache && !f.membw);
+        let b = PlatformBuilder::new();
+        assert!(b.energy.is_none(), "energy is off by default");
+        assert_eq!(b.energy(c).energy, Some(c));
     }
 
     #[test]

@@ -154,7 +154,7 @@ impl Platform {
         };
         let name = inf.model.config().tenants[idx].name;
         inf.queue_delays.record(name, queued);
-        if inf.reqs.get(&req).is_none() {
+        if !inf.reqs.contains_key(&req) {
             return;
         }
         let post = inf.model.post_cost(idx);
@@ -205,6 +205,9 @@ impl Platform {
         let latency = t_client.saturating_sub(state.start);
         let name = inf.model.config().tenants[state.tenant].name;
         self.responses.record(name, latency);
+        if let Some(e) = self.energy.as_mut() {
+            e.window.record(name, latency);
+        }
         self.sessions.request_completed();
     }
 }

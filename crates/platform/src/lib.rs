@@ -49,12 +49,12 @@ mod trace_event;
 mod world;
 
 pub use config::{
-    InferenceScenario, MplayerScenario, PlatformBuilder, PlayerSpec, RubisScenario,
+    EnergyConfig, InferenceScenario, MplayerScenario, PlatformBuilder, PlayerSpec, RubisScenario,
 };
 pub use pdes::LookaheadPlan;
 pub use report::{
-    AccelReport, AccelTenantReport, CoordReport, DomCpu, IslandEvents, NetReport, PlayerReport,
-    PowerReport, RubisReport, RunReport, SimRate,
+    AccelReport, AccelTenantReport, CoordReport, DomCpu, EnergyReport, IslandEvents, NetReport,
+    PlayerReport, PowerReport, RubisReport, RunReport, SimRate,
 };
 pub use trace_event::TraceEvent;
 pub use world::Platform;

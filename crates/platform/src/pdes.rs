@@ -198,7 +198,7 @@ impl Platform {
         let accel_slice = || {
             [
                 accel_ref
-                    .and_then(|a| Component::next_event_time(a))
+                    .and_then(Component::next_event_time)
                     .unwrap_or(Nanos::MAX),
                 Component::next_event_time(accel_mbx_ref).unwrap_or(Nanos::MAX),
             ]
@@ -215,7 +215,7 @@ impl Platform {
                 Component::next_event_time(&*ack_mbx).unwrap_or(Nanos::MAX),
                 rel_tx
                     .as_ref()
-                    .and_then(|tx| Component::next_event_time(tx))
+                    .and_then(Component::next_event_time)
                     .unwrap_or(Nanos::MAX),
             ];
             let ixp_h = ixp_worker.join().expect("ixp island worker");

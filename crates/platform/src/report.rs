@@ -161,6 +161,47 @@ pub struct PowerReport {
     pub series: Series,
 }
 
+/// QoS-constrained energy accounting (populated when the platform is
+/// built with [`PlatformBuilder::energy`](crate::PlatformBuilder::energy);
+/// all-zero otherwise).
+#[derive(Debug, Clone, Default)]
+pub struct EnergyReport {
+    /// `true` when the energy dimension was modelled for this run.
+    pub enabled: bool,
+    /// The controller's per-tenant p99 target in milliseconds.
+    pub p99_target_ms: f64,
+    /// Modelled x86-island energy (package + uncore) in joules.
+    pub cpu_joules: f64,
+    /// Modelled IXP-island energy in joules.
+    pub ixp_joules: f64,
+    /// Operating-point residency: `(dvfs frequency percent, samples
+    /// spent at that rung)`, full-performance rung first.
+    pub residency: Vec<(u32, u64)>,
+    /// Samples on which the worst per-tenant p99 exceeded the target.
+    pub violations: u64,
+    /// Controller back-offs (knob re-raised after a violation).
+    pub backoffs: u64,
+    /// Controller descents (knob lowered under QoS headroom).
+    pub descents: u64,
+    /// Times the oscillation detector froze the controller.
+    pub freezes: u64,
+    /// SetKnob actions applied on the x86 island.
+    pub knob_actions: u64,
+    /// Final DVFS operating point as a frequency percent.
+    pub final_dvfs_percent: u32,
+    /// Final DB cache-partition way count.
+    pub final_ways: u32,
+    /// Final memory-bandwidth share percent.
+    pub final_membw_percent: u32,
+}
+
+impl EnergyReport {
+    /// Total modelled platform energy over the run in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.cpu_joules + self.ixp_joules
+    }
+}
+
 /// Per-island master-loop accounting: how many dispatched events each
 /// scheduling island absorbed, plus the PDES epoch-barrier bookkeeping.
 ///
@@ -235,6 +276,9 @@ pub struct RunReport {
     pub accel: AccelReport,
     /// Modelled platform power.
     pub power: PowerReport,
+    /// QoS-constrained energy accounting (zeroed unless the platform was
+    /// built with [`PlatformBuilder::energy`](crate::PlatformBuilder::energy)).
+    pub energy: EnergyReport,
     /// Simulator throughput (events dispatched, wall time, events/sec).
     pub sim_rate: SimRate,
     /// Deterministic per-island event counts and PDES barrier accounting.

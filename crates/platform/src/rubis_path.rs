@@ -87,6 +87,10 @@ impl Platform {
     /// is under its connector cap, otherwise drop the request (the client
     /// recovers by retransmission).
     fn admit_or_drop(&mut self, vm: u32, req: u64, tier: Tier, demand: simcore::Nanos) {
+        // The energy knobs act here: shrunken cache ways / bandwidth
+        // share stretch this tier's service time (identity when the
+        // energy dimension is off).
+        let demand = self.energy_scaled(tier, demand);
         let Some(slot) = self.slot_by_vm(vm) else { return };
         if self.vms[slot].pending >= self.costs.tier_q_cap {
             self.guest_drops += 1;
@@ -203,6 +207,9 @@ impl Platform {
         let t_client = now + wire;
         let latency = t_client.saturating_sub(state.start);
         self.responses.record(state.rt.name, latency);
+        if let Some(e) = self.energy.as_mut() {
+            e.window.record(state.rt.name, latency);
+        }
         self.sessions.request_completed();
         // Session bookkeeping and the closed-loop think time.
         let session_len = r.model.config().session_len;

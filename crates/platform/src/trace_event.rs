@@ -8,7 +8,7 @@
 //! no heap traffic — and rendered through its [`Display`] impl only
 //! when a report, test, or debugger reads the history.
 
-use coord::{CoordMsg, EntityId};
+use coord::{CoordMsg, EntityId, KnobAxis};
 use std::fmt;
 use xsched::DomId;
 
@@ -74,6 +74,14 @@ pub enum TraceEvent {
         /// Domain that was boosted.
         dom: DomId,
     },
+    /// The x86 island moved one axis of its energy-knob lattice.
+    Knob {
+        /// The axis that moved.
+        axis: KnobAxis,
+        /// The applied value in the axis's own unit (frequency percent,
+        /// powered ways, or bandwidth-share percent).
+        value: u32,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -104,6 +112,9 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::Trigger { dom } => {
                 write!(f, "trigger {dom}: boost + credit grant")
+            }
+            TraceEvent::Knob { axis, value } => {
+                write!(f, "energy knob {axis:?} -> {value}")
             }
         }
     }
@@ -157,6 +168,10 @@ mod tests {
         assert_eq!(
             TraceEvent::DegradedSuppressed { msg }.to_string(),
             format!("coord: degraded, suppressed {msg:?}"),
+        );
+        assert_eq!(
+            TraceEvent::Knob { axis: KnobAxis::Dvfs, value: 85 }.to_string(),
+            "energy knob Dvfs -> 85",
         );
     }
 }

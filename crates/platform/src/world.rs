@@ -2,23 +2,23 @@
 //! that chains island events into each other at identical timestamps.
 
 use crate::config::{
-    HostCosts, InferenceScenario, MplayerScenario, PlatformBuilder, RubisScenario,
+    EnergyConfig, HostCosts, InferenceScenario, MplayerScenario, PlatformBuilder, RubisScenario,
 };
 use crate::report::{
-    AccelReport, AccelTenantReport, CoordReport, DomCpu, NetReport, PlayerReport, PowerReport,
-    RubisReport, RunReport, SimRate,
+    AccelReport, AccelTenantReport, CoordReport, DomCpu, EnergyReport, NetReport, PlayerReport,
+    PowerReport, RubisReport, RunReport, SimRate,
 };
 use accel::{AccelEvent, AccelIsland, TenantId};
 use coord::{
-    Action, BufferTriggerPolicy, Controller, CoordMsg, CoordinationPolicy, EntityId,
-    HysteresisPolicy, InferenceBatchPolicy, IslandId, IslandKind, NullPolicy, Observation,
-    PolicyKind, ReliableReceiver, ReliableSender, RequestTypePolicy, ResourceManager,
-    StreamQosPolicy,
+    Action, BufferTriggerPolicy, Controller, CoordMsg, CoordinationPolicy, EnergyController,
+    EnergyControllerConfig, EntityId, HysteresisPolicy, InferenceBatchPolicy, IslandId,
+    IslandKind, KnobAxis, KnobPoint, NullPolicy, Observation, PolicyKind, ReliableReceiver,
+    ReliableSender, RequestTypePolicy, ResourceManager, StreamQosPolicy,
 };
 use ixp::{AppTag, FlowId, IxpConfig, IxpEvent, IxpIsland, Packet};
 use metrics::{platform_efficiency, ResponseStats, SessionStats};
 use pcie::{HostLink, Mailbox, PcieEvent};
-use power::{CpuPowerModel, DomainSample, IxpPowerModel, PowerGovernor};
+use power::{CpuPowerModel, DomainSample, DvfsState, IxpPowerModel, PowerGovernor};
 use simcore::stats::Series;
 use crate::trace_event::TraceEvent;
 use simcore::trace::TraceBuffer;
@@ -39,6 +39,32 @@ pub(crate) const IXP: IslandId = IslandId(1);
 /// The accelerator island's coordination identity (present only on
 /// inference platforms; the default two-island build never registers it).
 pub(crate) const ACCEL: IslandId = IslandId(2);
+
+/// The platform-wide entity the energy controller's SetKnob messages
+/// address (registered only when the energy dimension is on). Sits well
+/// clear of workload VM indices (1..n) and adversary indices (100+).
+pub(crate) const ENERGY_ENTITY: EntityId = EntityId(99);
+
+/// DB-partition cache ways powered at each rung of the cache axis
+/// (rung 0 = the full 16-way LLC slice).
+pub(crate) const WAYS_LADDER: [u32; 5] = [16, 12, 8, 6, 4];
+/// Memory-bandwidth partition share (percent) at each rung of the
+/// bandwidth axis.
+pub(crate) const MEMBW_LADDER: [u32; 5] = [100, 85, 70, 55, 40];
+/// Service-time multiplier on DB-tier demand per cache rung: DB-heavy
+/// requests are working-set bound, so shrinking their partition misses
+/// hard and fast.
+const DB_WAYS_FACTOR: [f64; 5] = [1.0, 1.03, 1.08, 1.15, 1.30];
+/// Service-time multiplier on DB-tier demand per bandwidth rung.
+const DB_MEMBW_FACTOR: [f64; 5] = [1.0, 1.02, 1.06, 1.12, 1.25];
+/// Service-time multiplier on web/app-tier demand per bandwidth rung:
+/// CPU-heavy request classes barely notice a narrower memory lane (and
+/// are untouched by the DB cache partition).
+const CPU_MEMBW_FACTOR: [f64; 5] = [1.0, 1.01, 1.02, 1.04, 1.08];
+/// Modelled uncore watts per powered cache way.
+const WAY_WATTS: f64 = 0.6;
+/// Modelled memory-subsystem watts at a 100% bandwidth share.
+const MEMBW_WATTS: f64 = 8.0;
 
 /// Master-queue events (workload pacing and sampling).
 #[derive(Debug)]
@@ -171,6 +197,67 @@ pub(crate) struct PlayerState {
     pub next_pkt_id: u64,
 }
 
+/// Runtime state of the QoS-constrained energy dimension. The
+/// controller's commanded point leads `applied` by one coordination
+/// channel flight: a SetKnob rides the mailbox and a Dom0 apply burst
+/// like any Tune, so knob changes pay (and suffer) the channel.
+#[derive(Debug)]
+pub(crate) struct EnergyState {
+    pub ctl: EnergyController,
+    /// Knob rungs actually in force on the x86 island.
+    pub applied: KnobPoint,
+    /// Response latencies since the last sample — the controller's QoS
+    /// signal, reset each sample so decisions track the present, not the
+    /// run's whole history.
+    pub window: ResponseStats,
+    pub cpu_joules: f64,
+    pub ixp_joules: f64,
+    /// Samples spent at each DVFS rung.
+    pub residency: [u64; DvfsState::xeon_ladder().len()],
+    /// SetKnob actions applied on the island.
+    pub knob_actions: u64,
+}
+
+impl EnergyState {
+    fn new(cfg: EnergyConfig) -> Self {
+        let mut ec = EnergyControllerConfig::default().with_target_ms(cfg.p99_target_ms);
+        // A disabled axis gets a one-rung ladder: rung 0 (full
+        // performance) is then its only point and the controller never
+        // steps it — the E2 single-knob ablations are built from this.
+        ec.rungs = [
+            if cfg.dvfs { DvfsState::xeon_ladder().len() as u8 } else { 1 },
+            if cfg.cache { WAYS_LADDER.len() as u8 } else { 1 },
+            if cfg.membw { MEMBW_LADDER.len() as u8 } else { 1 },
+        ];
+        EnergyState {
+            ctl: EnergyController::new(ec),
+            applied: KnobPoint::default(),
+            window: ResponseStats::new(),
+            cpu_joules: 0.0,
+            ixp_joules: 0.0,
+            residency: [0; DvfsState::xeon_ladder().len()],
+            knob_actions: 0,
+        }
+    }
+
+    /// The controller's QoS signal: the worst per-request-class p99 over
+    /// the window, in milliseconds. Classes too rare in the window to
+    /// carry their own histogram ride the overall percentile; `None`
+    /// (no completions at all) means no signal and no decision.
+    fn worst_window_p99(&self) -> Option<f64> {
+        if self.window.total() == 0 {
+            return None;
+        }
+        let mut worst = self.window.overall_percentile(0.99);
+        for (name, s) in self.window.iter() {
+            if s.count() >= 5 {
+                worst = worst.max(self.window.percentile(name, 0.99));
+            }
+        }
+        Some(worst)
+    }
+}
+
 #[derive(Debug, Default)]
 pub(crate) struct CoordCounters {
     pub messages_sent: u64,
@@ -299,6 +386,9 @@ pub struct Platform {
     pub(crate) guest_drops: u64,
     pub(crate) trace: TraceBuffer<TraceEvent>,
     pub(crate) power_gov: Option<PowerGovernor>,
+    /// QoS-constrained energy dimension (`None` keeps the build
+    /// byte-identical to the seed baseline).
+    pub(crate) energy: Option<EnergyState>,
     pub(crate) cpu_power: CpuPowerModel,
     pub(crate) ixp_power: IxpPowerModel,
     pub(crate) power_series: Series,
@@ -361,6 +451,13 @@ impl Platform {
             Nanos::ZERO,
             CoordMsg::RegisterIsland { island: IXP, kind: IslandKind::NetworkProcessor },
         );
+        let energy = b.energy.map(|cfg| {
+            controller.handle(
+                Nanos::ZERO,
+                CoordMsg::RegisterEntity { entity: ENERGY_ENTITY, island: X86, local_key: 0 },
+            );
+            EnergyState::new(cfg)
+        });
         let mut mbx = Mailbox::new(b.coord_latency);
         let mut ack_mbx = Mailbox::new(b.coord_latency);
         let mut accel_mbx = Mailbox::new(b.coord_latency);
@@ -423,6 +520,7 @@ impl Platform {
                 .power_cap
                 .clone()
                 .map(|(w, s)| PowerGovernor::new(w, s)),
+            energy,
             cpu_power: CpuPowerModel::default(),
             ixp_power: IxpPowerModel::default(),
             power_series: Series::new(),
@@ -454,8 +552,8 @@ impl Platform {
             3 => Component::next_event_time(&self.link),
             4 => Component::next_event_time(&self.mbx),
             5 => Component::next_event_time(&self.ack_mbx),
-            6 => self.rel_tx.as_ref().and_then(|tx| Component::next_event_time(tx)),
-            7 => self.accel.as_ref().and_then(|a| Component::next_event_time(a)),
+            6 => self.rel_tx.as_ref().and_then(Component::next_event_time),
+            7 => self.accel.as_ref().and_then(Component::next_event_time),
             8 => Component::next_event_time(&self.accel_mbx),
             _ => unreachable!("no such event source"),
         };
@@ -853,7 +951,7 @@ impl Platform {
                 stats.sync_points += 1;
                 #[cfg(debug_assertions)]
                 self.debug_check_horizons();
-                if threads > 1 && stats.sync_points % pdes::SERVICE_INTERVAL == 0 {
+                if threads > 1 && stats.sync_points.is_multiple_of(pdes::SERVICE_INTERVAL) {
                     self.service_islands_parallel(threads);
                 }
                 next_barrier = pdes::next_boundary(t, plan.epoch);
@@ -1400,6 +1498,9 @@ impl Platform {
 
     /// Applies a coordination verb arriving over the accelerator's
     /// doorbell lane, through the island's [`ResourceManager`] contract.
+    // collapsible_match would hoist the side-effecting apply_* calls into
+    // match guards, which hides the mutation inside pattern dispatch.
+    #[allow(clippy::collapsible_match)]
     fn handle_accel_delivery(&mut self, bytes: Vec<u8>) {
         let Ok((msg, _)) = coord::wire::decode(&bytes) else { return };
         let now = self.now;
@@ -1512,6 +1613,9 @@ impl Platform {
                 self.horizons.mark(horizon::ACCEL_MBX);
                 self.accel_mbx.send(now, buf);
             }
+            Action::ApplyKnob { island, axis, rung, .. } if island == X86 => {
+                self.apply_knob(axis, rung);
+            }
             Action::ApplyTrigger { island, local_key } if island == X86 => {
                 let dom = DomId(local_key as u32);
                 if std::env::var_os("COORD_TRIGGER_DEBUG").is_some() {
@@ -1532,6 +1636,59 @@ impl Platform {
                 }
             }
             _ => {}
+        }
+    }
+
+    /// Moves one axis of the x86 island's energy lattice to `rung`
+    /// (clamped to the ladder). The DVFS axis retimes the credit
+    /// scheduler's service rates through its exact-rational speed; the
+    /// cache and bandwidth axes change the service-time factors the
+    /// request path reads — and all three move the power model's
+    /// operating point for subsequent samples.
+    fn apply_knob(&mut self, axis: KnobAxis, rung: u8) {
+        let now = self.now;
+        let Some(e) = self.energy.as_mut() else { return };
+        let freq = match axis {
+            KnobAxis::Dvfs => {
+                let ladder = DvfsState::xeon_ladder();
+                let rung = rung.min(ladder.len() as u8 - 1);
+                e.applied.dvfs = rung;
+                let (num, den) = ladder[rung as usize].speed();
+                self.horizons.mark(horizon::SCHED);
+                self.sched.set_speed(num, den);
+                num as u32
+            }
+            KnobAxis::CacheWays => {
+                e.applied.ways = rung.min(WAYS_LADDER.len() as u8 - 1);
+                WAYS_LADDER[e.applied.ways as usize]
+            }
+            KnobAxis::MembwShare => {
+                e.applied.membw = rung.min(MEMBW_LADDER.len() as u8 - 1);
+                MEMBW_LADDER[e.applied.membw as usize]
+            }
+        };
+        e.knob_actions += 1;
+        self.trace.record(now, TraceEvent::Knob { axis, value: freq });
+    }
+
+    /// Scales a tier's CPU demand by the applied cache/bandwidth rungs:
+    /// fewer DB-partition ways or a narrower bandwidth share stretch
+    /// service times, DB-heavy work far more than CPU-heavy web/app
+    /// work. Identity when the energy dimension is off or every factor
+    /// axis sits at rung 0, so baseline runs are byte-identical.
+    pub(crate) fn energy_scaled(&self, tier: Tier, demand: Nanos) -> Nanos {
+        let Some(e) = self.energy.as_ref() else { return demand };
+        let f = match tier {
+            Tier::Db => {
+                DB_WAYS_FACTOR[e.applied.ways as usize]
+                    * DB_MEMBW_FACTOR[e.applied.membw as usize]
+            }
+            Tier::Web | Tier::App => CPU_MEMBW_FACTOR[e.applied.membw as usize],
+        };
+        if f == 1.0 {
+            demand
+        } else {
+            Nanos((demand.as_nanos() as f64 * f) as u64)
         }
     }
 
@@ -1635,13 +1792,52 @@ impl Platform {
             };
             samples.push(DomainSample { name, cpu_percent: pct });
         }
-        // Modelled platform power: CPU package + network processor.
+        // Modelled platform power: CPU package + network processor. With
+        // the energy dimension on, the package term follows the applied
+        // DVFS point and gains the uncore terms the knobs control
+        // (powered cache ways, bandwidth-share interface); energy-off
+        // runs keep the original affine model bit-for-bit.
         let util = (total_pct / 100.0 / self.ncpus as f64).clamp(0.0, 1.0);
         let window_pkts = self.delivered.saturating_sub(self.delivered_prev);
         self.delivered_prev = self.delivered;
         let kpps = window_pkts as f64 / self.sample_period.as_secs_f64() / 1000.0;
-        let watts = self.cpu_power.watts(util) + self.ixp_power.watts(kpps);
+        let cpu_w = match self.energy.as_ref() {
+            Some(e) => {
+                let p = DvfsState::xeon_ladder()[e.applied.dvfs as usize];
+                self.cpu_power.watts_at(util, p)
+                    + WAY_WATTS * WAYS_LADDER[e.applied.ways as usize] as f64
+                    + MEMBW_WATTS * MEMBW_LADDER[e.applied.membw as usize] as f64 / 100.0
+            }
+            None => self.cpu_power.watts(util),
+        };
+        let ixp_w = self.ixp_power.watts(kpps);
+        let watts = cpu_w + ixp_w;
         self.power_series.push(now, watts);
+        // Drive the energy controller off the window's worst per-class
+        // p99. Its knob move (if any) is a SetKnob on the real
+        // coordination channel, not a direct poke at the scheduler.
+        let mut knob_msg = None;
+        if let Some(e) = self.energy.as_mut() {
+            let secs = self.sample_period.as_secs_f64();
+            e.cpu_joules += cpu_w * secs;
+            e.ixp_joules += ixp_w * secs;
+            e.residency[e.applied.dvfs as usize] += 1;
+            let worst = e.worst_window_p99();
+            e.window = ResponseStats::new();
+            if let Some(p99) = worst {
+                if let Some(s) = e.ctl.observe(now, p99) {
+                    knob_msg = Some(CoordMsg::SetKnob {
+                        entity: ENERGY_ENTITY,
+                        axis: s.axis,
+                        rung: s.rung,
+                        target: Some(X86),
+                    });
+                }
+            }
+        }
+        if let Some(m) = knob_msg {
+            self.send_coord(vec![m]);
+        }
         if let Some(gov) = self.power_gov.as_mut() {
             let actions = gov.sample(now, watts, &samples);
             for a in actions {
@@ -1773,6 +1969,31 @@ impl Platform {
             cap_actions: self.power_gov.as_ref().map(|g| g.actions_applied()).unwrap_or(0),
             series: std::mem::take(&mut self.power_series),
         };
+        let energy = match self.energy.as_mut() {
+            Some(e) => {
+                let ladder = DvfsState::xeon_ladder();
+                EnergyReport {
+                    enabled: true,
+                    p99_target_ms: e.ctl.p99_target_ms(),
+                    cpu_joules: std::mem::take(&mut e.cpu_joules),
+                    ixp_joules: std::mem::take(&mut e.ixp_joules),
+                    residency: std::mem::take(&mut e.residency)
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &n)| (ladder[i].freq_percent, n))
+                        .collect(),
+                    violations: e.ctl.violations(),
+                    backoffs: e.ctl.backoffs(),
+                    descents: e.ctl.descents(),
+                    freezes: e.ctl.freezes(),
+                    knob_actions: e.knob_actions,
+                    final_dvfs_percent: ladder[e.applied.dvfs as usize].freq_percent,
+                    final_ways: WAYS_LADDER[e.applied.ways as usize],
+                    final_membw_percent: MEMBW_LADDER[e.applied.membw as usize],
+                }
+            }
+            None => EnergyReport::default(),
+        };
         RunReport {
             duration,
             policy: self.policy.name().to_owned(),
@@ -1818,6 +2039,7 @@ impl Platform {
             buffer_series: std::mem::take(&mut self.buffer_series),
             accel,
             power,
+            energy,
             sim_rate: SimRate {
                 events,
                 wall_micros,

@@ -75,8 +75,15 @@ impl PowerGovernor {
     }
 
     /// Overrides the cap step and floor (percent of one pCPU).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step == 0` (the governor could never change a cap) or
+    /// `floor > 100` (a floor above full speed is meaningless).
     pub fn with_steps(mut self, step: u32, floor: u32) -> Self {
-        self.step_percent = step.max(1);
+        assert!(step > 0, "governor step must be at least 1 percent");
+        assert!(floor <= 100, "governor floor is a percent of one pCPU (0..=100)");
+        self.step_percent = step;
         self.floor_percent = floor;
         self
     }
@@ -119,9 +126,14 @@ impl PowerGovernor {
                     .unwrap_or(100.0);
                 let current = self.cap_of(&victim);
                 // First cap lands just below current consumption; further
-                // caps step down toward the floor.
+                // caps step down toward the floor. Ceiling, not `as`-cast:
+                // truncation would start the descent one percent short of
+                // the measured consumption, landing the first cap below
+                // where the step arithmetic intends (and, with a fractional
+                // sample at the floor, below the floor itself before the
+                // final clamp).
                 let base = if current == 0 {
-                    sample.max(self.floor_percent as f64) as u32
+                    sample.max(self.floor_percent as f64).ceil() as u32
                 } else {
                     current
                 };
@@ -277,6 +289,48 @@ mod tests {
             g.sample(Nanos::from_secs(i), 150.0, &doms(40.0, 80.0, 30.0));
         }
         assert_eq!(g.cap_of("background"), 10);
+    }
+
+    #[test]
+    fn fractional_sample_at_the_floor_never_caps_below_it() {
+        // Floor 10, consumption 10.4%: the old `as u32` truncation turned
+        // `max(10.4, 10.0)` into base 10 via the fraction being dropped —
+        // here the ceiling keeps base at 11 so the first step lands on the
+        // clamped floor, never under it.
+        let mut g = PowerGovernor::new(100.0, Strategy::BiggestConsumer).with_steps(1, 10);
+        let a = g.sample(
+            Nanos::from_secs(1),
+            120.0,
+            &[DomainSample { name: "db".into(), cpu_percent: 10.4 }],
+        );
+        assert_eq!(a.len(), 1);
+        assert!(a[0].cap_percent >= 10, "cap {} fell below the floor", a[0].cap_percent);
+        assert_eq!(a[0].cap_percent, 10);
+    }
+
+    #[test]
+    fn first_cap_rounds_consumption_up_not_down() {
+        // 80.3% consumption with a 15-point step: the descent starts from
+        // ceil(80.3) = 81, so the first cap is 66, not the truncated 65.
+        let mut g = PowerGovernor::new(100.0, Strategy::BiggestConsumer);
+        let a = g.sample(
+            Nanos::from_secs(1),
+            120.0,
+            &[DomainSample { name: "db".into(), cpu_percent: 80.3 }],
+        );
+        assert_eq!(a[0].cap_percent, 66);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be at least 1")]
+    fn with_steps_rejects_zero_step() {
+        let _ = PowerGovernor::new(100.0, Strategy::BiggestConsumer).with_steps(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "floor is a percent")]
+    fn with_steps_rejects_floor_above_100() {
+        let _ = PowerGovernor::new(100.0, Strategy::BiggestConsumer).with_steps(15, 101);
     }
 
     #[test]

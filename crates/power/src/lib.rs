@@ -33,4 +33,4 @@ mod governor;
 mod model;
 
 pub use governor::{CapAction, DomainSample, PowerGovernor, Strategy};
-pub use model::{CpuPowerModel, IxpPowerModel};
+pub use model::{CpuPowerModel, DvfsState, IxpPowerModel};

@@ -43,6 +43,75 @@ impl Default for CpuPowerModel {
     }
 }
 
+/// A discrete DVFS operating point of the x86 package.
+///
+/// Frequency is an integer percent of nominal so the scheduler can scale
+/// service rates with exact rational arithmetic (`freq_percent / 100`);
+/// voltage is a fraction of nominal supply.
+///
+/// # Example
+///
+/// ```
+/// use power::{CpuPowerModel, DvfsState};
+/// let m = CpuPowerModel::xeon_2006();
+/// let nominal = DvfsState::nominal();
+/// // At the nominal point the scaled model is the plain affine model.
+/// assert_eq!(m.watts_at(0.7, nominal), m.watts(0.7));
+/// // Every lower rung draws strictly less at the same utilization.
+/// let low = DvfsState::xeon_ladder()[3];
+/// assert!(m.watts_at(0.7, low) < m.watts(0.7));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsState {
+    /// Core frequency as an integer percent of nominal (100 = nominal).
+    pub freq_percent: u32,
+    /// Supply voltage as a fraction of nominal.
+    pub volt: f64,
+}
+
+impl DvfsState {
+    /// The nominal (full-speed) operating point.
+    pub const fn nominal() -> Self {
+        DvfsState { freq_percent: 100, volt: 1.0 }
+    }
+
+    /// The Xeon's discrete P-state ladder, fastest first. Voltage steps
+    /// track frequency the way 2006-era SpeedStep tables did (voltage
+    /// falls more slowly than frequency).
+    pub const fn xeon_ladder() -> [DvfsState; 4] {
+        [
+            DvfsState { freq_percent: 100, volt: 1.0 },
+            DvfsState { freq_percent: 85, volt: 0.95 },
+            DvfsState { freq_percent: 70, volt: 0.9 },
+            DvfsState { freq_percent: 55, volt: 0.85 },
+        ]
+    }
+
+    /// The frequency as an exact rational `(numerator, denominator)`
+    /// speed factor for the scheduler: nominal is `(100, 100)`.
+    pub const fn speed(&self) -> (u64, u64) {
+        (self.freq_percent as u64, 100)
+    }
+}
+
+impl Default for DvfsState {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+impl CpuPowerModel {
+    /// Power at `utilization` when the package runs at operating point
+    /// `p`: leakage (idle) scales with voltage, switching (dynamic)
+    /// power scales with `f · V²`. At the nominal point this reproduces
+    /// [`CpuPowerModel::watts`] exactly.
+    pub fn watts_at(&self, utilization: f64, p: DvfsState) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        let f = p.freq_percent as f64 / 100.0;
+        self.idle_w * p.volt + (self.peak_w - self.idle_w) * u * f * p.volt * p.volt
+    }
+}
+
 /// Network-processor power model: a dominant static component (the
 /// IXP2850's microengines run whether or not packets flow) plus a small
 /// per-traffic term.
@@ -108,5 +177,31 @@ mod tests {
     fn defaults_are_the_paper_era_parts() {
         assert_eq!(CpuPowerModel::default(), CpuPowerModel::xeon_2006());
         assert_eq!(IxpPowerModel::default(), IxpPowerModel::ixp2850());
+    }
+
+    #[test]
+    fn nominal_point_reproduces_the_plain_model_bit_exactly() {
+        let m = CpuPowerModel::xeon_2006();
+        for u in [0.0, 0.13, 0.5, 0.77, 1.0] {
+            assert_eq!(m.watts_at(u, DvfsState::nominal()), m.watts(u));
+        }
+    }
+
+    #[test]
+    fn ladder_is_monotone_in_power_and_frequency() {
+        let m = CpuPowerModel::xeon_2006();
+        let ladder = DvfsState::xeon_ladder();
+        for w in ladder.windows(2) {
+            assert!(w[0].freq_percent > w[1].freq_percent);
+            assert!(m.watts_at(0.8, w[0]) > m.watts_at(0.8, w[1]));
+            // Even idle power falls down the ladder (leakage tracks V).
+            assert!(m.watts_at(0.0, w[0]) > m.watts_at(0.0, w[1]));
+        }
+    }
+
+    #[test]
+    fn speed_rational_is_exact() {
+        assert_eq!(DvfsState::nominal().speed(), (100, 100));
+        assert_eq!(DvfsState::xeon_ladder()[3].speed(), (55, 100));
     }
 }

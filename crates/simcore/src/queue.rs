@@ -340,7 +340,7 @@ impl<E> EventQueue<E> {
             let far_t = self.far.peek().map(|Reverse(e)| e.time.0);
             match (bucket, far_t) {
                 (Some((idx, start)), far) => {
-                    if far.map_or(true, |f| start <= f) {
+                    if far.is_none_or(|f| start <= f) {
                         // Jump the cursor to that bucket and drain it
                         // into `cur`, dropping tombstones on the way.
                         self.wheel_start = start;

@@ -10,6 +10,8 @@
 use simcore::{Nanos, SimRng};
 use std::rc::Rc;
 
+type ShrinkFn<T> = Rc<dyn Fn(&T) -> Vec<T>>;
+
 /// A generator of values of type `T` with optional shrinking.
 ///
 /// Cloning is cheap (reference-counted closures), so generators compose
@@ -29,7 +31,7 @@ use std::rc::Rc;
 /// ```
 pub struct Gen<T> {
     sample: Rc<dyn Fn(&mut SimRng) -> T>,
-    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+    shrink: ShrinkFn<T>,
 }
 
 impl<T> Clone for Gen<T> {
@@ -333,7 +335,7 @@ pub fn vec_of<T: Clone + 'static>(elem: Gen<T>, min_len: usize, max_len: usize) 
 /// Generators for the archipelago domain vocabulary.
 pub mod domain {
     use super::{vec_of, zip2, Gen};
-    use coord::{CoordMsg, EntityId, IslandId, IslandKind};
+    use coord::{CoordMsg, EntityId, IslandId, IslandKind, KnobAxis};
     use pcie::{FaultProfile, Jitter};
     use simcore::Nanos;
 
@@ -364,6 +366,11 @@ pub mod domain {
             IslandKind::Accelerator,
             IslandKind::Storage,
         ])
+    }
+
+    /// One of the three energy-knob axes, shrinking toward `Dvfs`.
+    pub fn knob_axis() -> Gen<KnobAxis> {
+        Gen::choice(vec![KnobAxis::Dvfs, KnobAxis::CacheWays, KnobAxis::MembwShare])
     }
 
     /// `None` or some island id; shrinks toward `None`.
@@ -408,7 +415,15 @@ pub mod domain {
         let trigger = zip2(entity_id(), opt_island())
             .map(|(entity, target)| CoordMsg::Trigger { entity, target });
         let ack = Gen::u32_any().map(|seq| CoordMsg::Ack { seq });
-        Gen::one_of(vec![reg_island, reg_entity, tune, trigger, ack]).with_shrink(shrink_msg)
+        let knob = zip2(entity_id(), zip2(zip2(knob_axis(), Gen::u32_in(0, 7)), opt_island()))
+            .map(|(entity, ((axis, rung), target))| CoordMsg::SetKnob {
+                entity,
+                axis,
+                rung: rung as u8,
+                target,
+            });
+        Gen::one_of(vec![reg_island, reg_entity, tune, trigger, ack, knob])
+            .with_shrink(shrink_msg)
     }
 
     fn shrink_msg(m: &CoordMsg) -> Vec<CoordMsg> {
@@ -462,6 +477,18 @@ pub mod domain {
                 .into_iter()
                 .map(|seq| CoordMsg::Ack { seq })
                 .collect(),
+            CoordMsg::SetKnob { entity, axis, rung, target } => {
+                let mut out: Vec<CoordMsg> = (0..rung)
+                    .map(|rung| CoordMsg::SetKnob { entity, axis, rung, target })
+                    .collect();
+                out.extend(
+                    opt_island()
+                        .shrinks(&target)
+                        .into_iter()
+                        .map(|target| CoordMsg::SetKnob { entity, axis, rung, target }),
+                );
+                out
+            }
         }
     }
 
@@ -654,7 +681,7 @@ mod tests {
     fn domain_msgs_cover_every_variant() {
         let g = domain::coord_msg();
         let mut rng = SimRng::new(5);
-        let mut seen = [false; 5];
+        let mut seen = [false; 6];
         for _ in 0..200 {
             let idx = match g.sample(&mut rng) {
                 coord::CoordMsg::RegisterIsland { .. } => 0,
@@ -662,6 +689,7 @@ mod tests {
                 coord::CoordMsg::Tune { .. } => 2,
                 coord::CoordMsg::Trigger { .. } => 3,
                 coord::CoordMsg::Ack { .. } => 4,
+                coord::CoordMsg::SetKnob { .. } => 5,
             };
             seen[idx] = true;
         }

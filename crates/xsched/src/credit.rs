@@ -205,6 +205,11 @@ pub struct CreditScheduler {
     migrations: u64,
     preemptions: u64,
     horizon: Cell<HorizonCache>,
+    /// Execution speed as an exact rational `num/den` of nominal (DVFS).
+    /// At `num == den` every conversion below is the identity, so the
+    /// nominal path is bit-identical to a scheduler without the feature.
+    speed_num: u64,
+    speed_den: u64,
 }
 
 impl CreditScheduler {
@@ -235,7 +240,53 @@ impl CreditScheduler {
             migrations: 0,
             preemptions: 0,
             horizon: Cell::new(HorizonCache::Dirty),
+            speed_num: 1,
+            speed_den: 1,
         }
+    }
+
+    /// Sets the execution speed to the exact rational `num / den` of
+    /// nominal (the DVFS frequency knob): burst demands are expressed in
+    /// nominal-speed CPU time, so at speed `num/den` a burst of demand `d`
+    /// occupies `d·den/num` of wall-clock pCPU time. Credits, caps and
+    /// usage accounting stay in wall time (they meter pCPU *occupancy*,
+    /// which frequency scaling does not change).
+    ///
+    /// # Panics
+    /// Panics if `num == 0` or `den == 0`.
+    pub fn set_speed(&mut self, num: u64, den: u64) {
+        assert!(num > 0 && den > 0, "speed must be a positive rational");
+        if (num, den) == (self.speed_num, self.speed_den) {
+            return;
+        }
+        self.speed_num = num;
+        self.speed_den = den;
+        self.dirty_horizon();
+    }
+
+    /// The current execution speed as `(numerator, denominator)`.
+    pub fn speed(&self) -> (u64, u64) {
+        (self.speed_num, self.speed_den)
+    }
+
+    /// Wall-clock time needed to execute `work` nominal-speed demand at
+    /// the current speed (identity at nominal; ceiling otherwise so the
+    /// completion horizon never undershoots).
+    fn wall_for(&self, work: Nanos) -> Nanos {
+        if self.speed_num == self.speed_den {
+            return work;
+        }
+        let n = work.as_nanos();
+        Nanos((n * self.speed_den).div_ceil(self.speed_num))
+    }
+
+    /// Nominal-speed demand executed by `wall` wall-clock time at the
+    /// current speed (identity at nominal; floor otherwise).
+    fn work_for(&self, wall: Nanos) -> Nanos {
+        if self.speed_num == self.speed_den {
+            return wall;
+        }
+        Nanos(wall.as_nanos() * self.speed_num / self.speed_den)
     }
 
     // ------------------------------------------------------------------
@@ -500,7 +551,7 @@ impl CreditScheduler {
             if let Some(vi) = p.running {
                 fold(p.slice_end);
                 if let Some(front) = self.vcpus[vi].work.front() {
-                    fold(p.last_charge + front.demand);
+                    fold(p.last_charge + self.wall_for(front.demand));
                 }
             }
         }
@@ -666,12 +717,24 @@ impl CreditScheduler {
             self.pcpus[pi].last_charge = t;
             let dom = self.vcpus[vi].dom;
             while !elapsed.is_zero() {
-                let Some(front) = self.vcpus[vi].work.front_mut() else {
-                    debug_assert!(false, "running vcpu with no work");
-                    break;
+                let wall_needed = match self.vcpus[vi].work.front() {
+                    Some(front) => self.wall_for(front.demand),
+                    None => {
+                        debug_assert!(false, "running vcpu with no work");
+                        break;
+                    }
                 };
-                let take = front.demand.min(elapsed);
-                front.demand -= take;
+                // `take` is wall-clock pCPU occupancy; the front burst's
+                // demand depletes in nominal-speed work units. The ceil in
+                // `wall_for` guarantees a burst whose horizon fell due has
+                // executed its full demand by then.
+                let (take, work) = if wall_needed <= elapsed {
+                    (wall_needed, None)
+                } else {
+                    (elapsed, Some(self.work_for(elapsed)))
+                };
+                let front = self.vcpus[vi].work.front_mut().expect("front exists");
+                front.demand -= work.unwrap_or(front.demand).min(front.demand);
                 let (kind, finished) = (front.kind, front.demand.is_zero());
                 elapsed -= take;
                 self.usage.add_running(dom, kind, take);
@@ -1149,6 +1212,60 @@ mod tests {
         assert_eq!(done.len(), 1);
         let SchedEvent::Completed { dom, tag, at, .. } = done[0];
         assert_eq!((dom, tag, at), (d, 42, Nanos::from_millis(5)));
+    }
+
+    #[test]
+    fn half_speed_doubles_burst_wall_time() {
+        let mut s = CreditScheduler::new(SchedConfig::new(1));
+        let d = s.create_domain("a", 256, 1);
+        s.set_speed(50, 100);
+        s.submit(Nanos::ZERO, d, Burst::user(Nanos::from_millis(5), 7), WakeMode::Plain)
+            .unwrap();
+        let done = drive_until(&mut s, Nanos::from_millis(20));
+        assert_eq!(done.len(), 1);
+        let SchedEvent::Completed { at, .. } = done[0];
+        assert_eq!(at, Nanos::from_millis(10), "5 ms of demand at half speed");
+    }
+
+    #[test]
+    fn explicit_nominal_speed_matches_the_default_path() {
+        let run = |set_nominal: bool| {
+            let mut s = CreditScheduler::new(SchedConfig::new(1));
+            let a = s.create_domain("a", 256, 1);
+            let b = s.create_domain("b", 768, 1);
+            if set_nominal {
+                s.set_speed(100, 100);
+            }
+            s.submit(Nanos::ZERO, a, Burst::user(Nanos::from_millis(47), 1), WakeMode::Plain)
+                .unwrap();
+            s.submit(Nanos::from_micros(300), b, Burst::user(Nanos::from_millis(13), 2), WakeMode::Boost)
+                .unwrap();
+            drive_until(&mut s, Nanos::from_secs(1))
+        };
+        assert_eq!(run(false), run(true), "nominal speed must be the identity");
+    }
+
+    #[test]
+    fn speed_change_mid_burst_scales_only_the_remainder() {
+        let mut s = CreditScheduler::new(SchedConfig::new(1));
+        let d = s.create_domain("a", 256, 1);
+        s.submit(Nanos::ZERO, d, Burst::user(Nanos::from_millis(8), 7), WakeMode::Plain)
+            .unwrap();
+        // 4 ms runs at nominal, then the clock drops to half speed: the
+        // remaining 4 ms of demand needs 8 ms of wall time.
+        let mut out = Vec::new();
+        s.on_timer(Nanos::from_millis(4), &mut out);
+        s.set_speed(50, 100);
+        let done = drive_until(&mut s, Nanos::from_millis(20));
+        let SchedEvent::Completed { at, .. } = done[0];
+        assert_eq!(at, Nanos::from_millis(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive rational")]
+    fn zero_speed_is_rejected() {
+        let mut s = CreditScheduler::new(SchedConfig::new(1));
+        s.set_speed(0, 100);
     }
 
     #[test]
@@ -1670,7 +1787,7 @@ mod tests {
             for _ in 0..2_000 {
                 let dom = doms[rng.below(doms.len() as u64) as usize];
                 match rng.below(9) {
-                    0 | 1 | 2 => {
+                    0..=2 => {
                         let demand = Nanos::from_micros(rng.range(0, 20_000));
                         let wake = if rng.chance(0.5) { WakeMode::Boost } else { WakeMode::Plain };
                         s.submit(now, dom, Burst::user(demand, rng.next_u64()), wake).unwrap();

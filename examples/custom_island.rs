@@ -131,6 +131,9 @@ fn main() {
                             .apply_trigger(now, EntityId(local_key as u32))
                             .expect("bound entity");
                     }
+                    // Energy-knob verbs target the x86 island's DVFS /
+                    // cache / membw lattice; an I/O scheduler has none.
+                    Action::ApplyKnob { .. } => {}
                 }
             }
         }

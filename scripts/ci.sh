@@ -10,6 +10,9 @@ cargo build --release --offline
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "==> bench smoke pass (SIMTEST_BENCH_MODE=smoke)"
 SIMTEST_BENCH_MODE=smoke cargo bench --offline -p bench
 
@@ -167,6 +170,51 @@ for r in rows:
             sys.exit(f"a1_price_of_anarchy.csv: n={r['adversaries']} "
                      f"has nonpositive {col}")
 print("    ok: a1_price_of_anarchy.csv shape verified")
+EOF
+
+echo "==> energy-controller smoke pass (experiments energy --smoke)"
+./target/release/experiments --smoke --jobs 2 energy > /dev/null
+python3 - <<'EOF'
+import csv, sys
+
+rows = list(csv.DictReader(open("results/e1_energy_qos.csv")))
+cols = list(rows[0].keys())
+expect = ["Config", "joules", "mean W", "worst p99 ms", "p99 under target",
+          "violations", "knob actions"]
+if cols != expect:
+    sys.exit(f"e1_energy_qos.csv: unexpected columns {cols}")
+configs = [r["Config"] for r in rows]
+if configs != ["no management", "uncoordinated cap 105W",
+               "uncoordinated cap 90W", "coordinated energy"]:
+    sys.exit(f"e1_energy_qos.csv: unexpected config rows {configs}")
+by = {r["Config"]: r for r in rows}
+for r in rows:
+    if float(r["joules"]) <= 0.0:
+        sys.exit(f"e1_energy_qos.csv: {r['Config']} metered no energy")
+if int(by["no management"]["knob actions"]) != 0:
+    sys.exit("e1_energy_qos.csv: frozen baseline moved a knob")
+if int(by["coordinated energy"]["knob actions"]) == 0:
+    sys.exit("e1_energy_qos.csv: coordinated run never moved a knob")
+
+rows = list(csv.DictReader(open("results/e2_energy_ablation.csv")))
+configs = [r["Config"] for r in rows]
+if configs != ["frozen (all knobs pinned)", "dvfs only", "cache ways only",
+               "membw share only", "coordinated (all three)"]:
+    sys.exit(f"e2_energy_ablation.csv: unexpected config rows {configs}")
+by = {r["Config"]: r for r in rows}
+frozen = by["frozen (all knobs pinned)"]
+if float(frozen["saved %"]) != 0.0 or int(frozen["descents"]) != 0:
+    sys.exit("e2_energy_ablation.csv: frozen baseline descended")
+if int(by["coordinated (all three)"]["descents"]) == 0:
+    sys.exit("e2_energy_ablation.csv: coordinated run never descended")
+# Single-axis arms must leave the other two axes at full performance.
+if by["dvfs only"]["final ways"] != "16" or by["dvfs only"]["final membw %"] != "100":
+    sys.exit("e2_energy_ablation.csv: dvfs-only arm moved a non-dvfs knob")
+if by["cache ways only"]["final dvfs %"] != "100" or by["cache ways only"]["final membw %"] != "100":
+    sys.exit("e2_energy_ablation.csv: cache-only arm moved a non-cache knob")
+if by["membw share only"]["final dvfs %"] != "100" or by["membw share only"]["final ways"] != "16":
+    sys.exit("e2_energy_ablation.csv: membw-only arm moved a non-membw knob")
+print("    ok: e1_energy_qos.csv and e2_energy_ablation.csv shapes verified")
 EOF
 
 echo "==> PDES island-threads smoke pass (i1 + a1 byte-identity vs serial)"

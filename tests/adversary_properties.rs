@@ -38,15 +38,14 @@ fn policer_conserves_requests_and_caps_net_displacement() {
             now += Nanos::from_nanos(dt);
             let delta = raw as i32 - 512;
             attempts += 1;
-            match p.police_tune(now, e, delta) {
-                // An admitted delta never exceeds the request's magnitude
-                // and never flips its sign.
-                Some(applied) => st_assert!(
+            // An admitted delta never exceeds the request's magnitude
+            // and never flips its sign.
+            if let Some(applied) = p.police_tune(now, e, delta) {
+                st_assert!(
                     applied.unsigned_abs() <= delta.unsigned_abs()
                         && (applied == 0 || applied.signum() == delta.signum()),
                     "admitted {applied} for requested {delta}"
-                ),
-                None => {}
+                );
             }
             let s = p.stats_for(e);
             st_assert!(

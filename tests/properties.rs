@@ -135,7 +135,7 @@ fn event_queue_interleaving_matches_reference_model() {
             }
             while let Some((t, i)) = q.pop() {
                 let min = live_min(&model);
-                st_assert_eq!(Some((t.0, i)), min.map(|(t, i)| (t, i)), "drain order");
+                st_assert_eq!(Some((t.0, i)), min, "drain order");
                 model[i] = None;
             }
             st_assert!(
