@@ -1,12 +1,12 @@
 //! Regenerates every table and figure of the paper's evaluation plus the
 //! ablations, printing paper-style tables and writing CSVs to `results/`.
 //!
-//! Usage: `experiments [--jobs N] [--island-threads N] [--smoke[=SECS]]
-//! [--seed S] [SELECTION]`
+//! Usage: `experiments [--jobs N] [--island-threads N] [--shards N]
+//! [--smoke[=SECS]] [--seed S] [SELECTION]`
 //!
 //! * `SELECTION` — `all` (default), an experiment id (`experiments list`
 //!   prints them), or one of the groups `fig4`, `fig7`, `ablations`,
-//!   `extensions`.
+//!   `extensions`, `fleet`.
 //! * `--jobs N` — fan independent experiments across N worker threads
 //!   (default: `ARCH_JOBS` or the machine's available parallelism).
 //!   Output is byte-identical to `--jobs 1`.
@@ -14,6 +14,9 @@
 //!   simulated run (default 1 = the serial master loop). Dispatch order
 //!   is conserved, so output is byte-identical to `--island-threads 1`;
 //!   ci.sh asserts this on every pass.
+//! * `--shards N` — shard count for the fleet experiments (default 12,
+//!   clamped to 2..=64). Output for any fixed N is byte-identical across
+//!   `--jobs` values; ci.sh asserts this on a 2-shard fleet.
 //! * `--smoke[=SECS]` — cap every simulated run (default 5 simulated
 //!   seconds): a fast CI pass that keeps table shapes but not statistics.
 //! * `--seed S` — override the default deterministic seed.
@@ -57,6 +60,9 @@ fn selection(which: &str) -> Option<Vec<&'static str>> {
         "energy" => Some(vec!["e1_energy_qos", "e2_energy_ablation"]),
         "e1" => Some(vec!["e1_energy_qos"]),
         "e2" => Some(vec!["e2_energy_ablation"]),
+        "fleet" => Some(vec!["f1_fleet_scale", "f2_fleet_determinism"]),
+        "f1" => Some(vec!["f1_fleet_scale"]),
+        "f2" => Some(vec!["f2_fleet_determinism"]),
         id if ids.contains(&id) => Some(vec![ids[ids.iter().position(|x| *x == id).unwrap()]]),
         _ => None,
     }
@@ -67,6 +73,9 @@ fn main() {
     let jobs = bench::pool::take_jobs_flag(&mut args);
     let island_threads = bench::pool::take_island_threads_flag(&mut args);
     bench::set_island_threads(island_threads);
+    if let Some(shards) = bench::pool::take_shards_flag(&mut args) {
+        bench::set_fleet_shards(shards);
+    }
     let mut seed = bench::SEED;
     let mut smoke: Option<u64> = None;
     let mut rest = Vec::new();
@@ -128,6 +137,24 @@ fn main() {
         "islands: x86 {} ixp {} accel {}  sync points {} (island threads {island_threads})",
         islands.x86, islands.ixp, islands.accel, islands.sync_points
     );
+    let fleet = bench::fleet_totals();
+    if fleet.runs > 0 {
+        println!(
+            "fleet: {} run(s), {} shard slices, {} events, sessions {}/{} admitted, \
+             bus {}/{} delivered ({} late), tunes {}/{}/{}",
+            fleet.runs,
+            fleet.shard_slices,
+            fleet.events,
+            fleet.admitted,
+            fleet.offered,
+            fleet.frames_sent,
+            fleet.delivered,
+            fleet.late,
+            fleet.tunes[0],
+            fleet.tunes[1],
+            fleet.tunes[2],
+        );
+    }
 
     let report = Json::obj(vec![
         ("schema", Json::Str("bench-experiments-v1".into())),
@@ -167,6 +194,48 @@ fn main() {
                 ("accel", Json::Num(islands.accel as f64)),
                 ("sync_points", Json::Num(islands.sync_points as f64)),
                 ("island_threads", Json::Num(island_threads as f64)),
+            ]),
+        ),
+        (
+            "fleet",
+            Json::obj(vec![
+                ("runs", Json::Num(fleet.runs as f64)),
+                ("shards", Json::Num(bench::fleet_shards() as f64)),
+                ("shard_slices", Json::Num(fleet.shard_slices as f64)),
+                ("events", Json::Num(fleet.events as f64)),
+                (
+                    "per_shard_events",
+                    Json::Arr(
+                        fleet
+                            .per_shard_events
+                            .iter()
+                            .map(|&e| Json::Num(e as f64))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "sessions",
+                    Json::obj(vec![
+                        ("offered", Json::Num(fleet.offered as f64)),
+                        ("admitted", Json::Num(fleet.admitted as f64)),
+                        ("rejected", Json::Num(fleet.rejected as f64)),
+                    ]),
+                ),
+                (
+                    "bus",
+                    Json::obj(vec![
+                        ("frames_sent", Json::Num(fleet.frames_sent as f64)),
+                        ("delivered", Json::Num(fleet.delivered as f64)),
+                        ("reordered", Json::Num(fleet.reordered as f64)),
+                        ("late", Json::Num(fleet.late as f64)),
+                    ]),
+                ),
+                (
+                    "tunes_by_level",
+                    Json::Arr(
+                        fleet.tunes.iter().map(|&t| Json::Num(t as f64)).collect(),
+                    ),
+                ),
             ]),
         ),
         ("wall_micros", Json::Num(wall.as_micros() as f64)),

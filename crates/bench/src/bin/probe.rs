@@ -1,6 +1,6 @@
 //! Calibration probe: quick, detailed looks at the headline scenarios.
 //!
-//! Usage: `probe [all|rubis|static|mplayer|trigger|energy]`
+//! Usage: `probe [all|rubis|static|mplayer|trigger|energy|fleet]`
 //!
 //! * `rubis` — baseline vs coordinated read-write mix with per-type stats
 //! * `static` — static weight assignments (sanity-checks the scheduler's
@@ -9,9 +9,12 @@
 //! * `trigger` — Figure 7 / Table 3 buffer-trigger runs
 //! * `energy` — the E1 arms (frozen metering vs coordinated knob walk)
 //!   with joules, knob residency and the controller counters
+//! * `fleet` — a small sharded fleet, uncoordinated vs depth-2
+//!   coordinated, with per-shard event/coordination counters
 
 use bench::summary;
 use coord::PolicyKind;
+use fleet::BusConfig;
 use platform::{EnergyConfig, MplayerScenario, PlatformBuilder, RubisScenario};
 use simcore::Nanos;
 
@@ -81,6 +84,22 @@ fn energy(cfg: EnergyConfig, label: &str) {
     summary::print_energy(&r);
 }
 
+fn fleet_probe(coordinated: bool) {
+    let cfg = bench::fleet_cfg(
+        42,
+        6,
+        2,
+        BusConfig::perfect(Nanos::from_micros(100)),
+        coordinated,
+    );
+    let r = bench::run_fleet(cfg, 3, 20, 1);
+    println!(
+        "== fleet {} (6 shards, depth 2)",
+        if coordinated { "coordinated" } else { "uncoordinated" }
+    );
+    summary::print_fleet(&r);
+}
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     if which == "all" || which == "rubis" {
@@ -96,6 +115,10 @@ fn main() {
         mplayer(256, 256);
         mplayer(384, 512);
         mplayer(384, 640);
+    }
+    if which == "fleet" {
+        fleet_probe(false);
+        fleet_probe(true);
     }
     if which == "energy" {
         energy(EnergyConfig::frozen(800.0), "frozen (metering only)");

@@ -17,6 +17,7 @@ pub mod pool;
 pub mod summary;
 
 use coord::PolicyKind;
+use fleet::{BusConfig, FleetConfig, FleetReport, FleetState, FleetTopology, ShardPlan};
 use metrics::Table;
 use pcie::NotifyMode;
 use platform::{
@@ -26,6 +27,8 @@ use platform::{
 };
 use simcore::Nanos;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use workloads::session::SessionLoad;
 
 /// Default deterministic seed for headline runs.
 pub const SEED: u64 = 42;
@@ -72,7 +75,8 @@ pub fn sim_rate_totals() -> (u64, u64) {
     )
 }
 
-/// Resets the [`sim_rate_totals`] and [`island_totals`] counters.
+/// Resets the [`sim_rate_totals`], [`island_totals`] and
+/// [`fleet_totals`] counters.
 pub fn reset_sim_rate_totals() {
     TOTAL_EVENTS.store(0, Ordering::Relaxed);
     TOTAL_WALL_MICROS.store(0, Ordering::Relaxed);
@@ -80,6 +84,24 @@ pub fn reset_sim_rate_totals() {
     TOTAL_IXP_EVENTS.store(0, Ordering::Relaxed);
     TOTAL_ACCEL_EVENTS.store(0, Ordering::Relaxed);
     TOTAL_SYNC_POINTS.store(0, Ordering::Relaxed);
+    for c in [
+        &FLEET_RUNS,
+        &FLEET_SHARD_SLICES,
+        &FLEET_EVENTS,
+        &FLEET_OFFERED,
+        &FLEET_ADMITTED,
+        &FLEET_REJECTED,
+        &FLEET_FRAMES_SENT,
+        &FLEET_DELIVERED,
+        &FLEET_REORDERED,
+        &FLEET_LATE,
+        &FLEET_TUNES_L0,
+        &FLEET_TUNES_L1,
+        &FLEET_TUNES_L2,
+    ] {
+        c.store(0, Ordering::Relaxed);
+    }
+    FLEET_PER_SHARD_EVENTS.lock().unwrap().clear();
 }
 
 /// Sets the PDES island worker count every subsequent [`Platform`] run in
@@ -1521,6 +1543,334 @@ pub fn energy_e2(seed: u64) -> Table {
 }
 
 // ----------------------------------------------------------------------
+// F1 / F2 — fleet-scale sharded worlds
+// ----------------------------------------------------------------------
+
+static FLEET_SHARDS: AtomicU64 = AtomicU64::new(12);
+static FLEET_RUNS: AtomicU64 = AtomicU64::new(0);
+static FLEET_SHARD_SLICES: AtomicU64 = AtomicU64::new(0);
+static FLEET_EVENTS: AtomicU64 = AtomicU64::new(0);
+static FLEET_OFFERED: AtomicU64 = AtomicU64::new(0);
+static FLEET_ADMITTED: AtomicU64 = AtomicU64::new(0);
+static FLEET_REJECTED: AtomicU64 = AtomicU64::new(0);
+static FLEET_FRAMES_SENT: AtomicU64 = AtomicU64::new(0);
+static FLEET_DELIVERED: AtomicU64 = AtomicU64::new(0);
+static FLEET_REORDERED: AtomicU64 = AtomicU64::new(0);
+static FLEET_LATE: AtomicU64 = AtomicU64::new(0);
+static FLEET_TUNES_L0: AtomicU64 = AtomicU64::new(0);
+static FLEET_TUNES_L1: AtomicU64 = AtomicU64::new(0);
+static FLEET_TUNES_L2: AtomicU64 = AtomicU64::new(0);
+static FLEET_PER_SHARD_EVENTS: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+/// Simulated seconds per fleet slice (smoke-capped like every run).
+/// Sized with [`F1_SLICES`] so the full F1 sweep — one baseline plus
+/// nine coordinated fleets — dispatches over 100M island events at the
+/// default 12-shard fleet (~740 events per shard-second).
+const F1_SLICE_SECS: u64 = 300;
+
+/// Coordination rounds (slices) per fleet run. The first slice runs on
+/// uniform caps for both arms, so the coordinated arm's benefit has to
+/// materialise — and be measured — over the remaining rounds.
+const F1_SLICES: u32 = 4;
+
+/// Overrides the shard count of the fleet experiments (`--shards N`);
+/// clamped to 2..=64 (rebalancing needs a pair, and the ncpus/load
+/// cycles repeat every 3 shards).
+pub fn set_fleet_shards(n: u16) {
+    FLEET_SHARDS.store(n.clamp(2, 64) as u64, Ordering::Relaxed);
+}
+
+/// The configured fleet shard count (default 12).
+pub fn fleet_shards() -> u16 {
+    FLEET_SHARDS.load(Ordering::Relaxed) as u16
+}
+
+/// Fleet-level totals accumulated across every fleet run in this
+/// process — the `fleet` block of `results/BENCH_experiments.json`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetTotals {
+    /// Fleet runs executed.
+    pub runs: u64,
+    /// Shard slices simulated (shards × slices, summed over runs).
+    pub shard_slices: u64,
+    /// Island events dispatched inside fleet shards.
+    pub events: u64,
+    /// Sessions offered at the admission doors.
+    pub offered: u64,
+    /// Sessions admitted.
+    pub admitted: u64,
+    /// Sessions rejected.
+    pub rejected: u64,
+    /// Envelope frames first-transmitted on the buses.
+    pub frames_sent: u64,
+    /// Envelopes delivered.
+    pub delivered: u64,
+    /// Deliveries the wire reordered.
+    pub reordered: u64,
+    /// Deliveries arriving a round late.
+    pub late: u64,
+    /// Cap moves by tree level (node group, rack, fleet root).
+    pub tunes: [u64; 3],
+    /// Per-shard event totals, indexed by shard id.
+    pub per_shard_events: Vec<u64>,
+}
+
+/// The fleet totals accumulated so far (reset by
+/// [`reset_sim_rate_totals`]).
+pub fn fleet_totals() -> FleetTotals {
+    FleetTotals {
+        runs: FLEET_RUNS.load(Ordering::Relaxed),
+        shard_slices: FLEET_SHARD_SLICES.load(Ordering::Relaxed),
+        events: FLEET_EVENTS.load(Ordering::Relaxed),
+        offered: FLEET_OFFERED.load(Ordering::Relaxed),
+        admitted: FLEET_ADMITTED.load(Ordering::Relaxed),
+        rejected: FLEET_REJECTED.load(Ordering::Relaxed),
+        frames_sent: FLEET_FRAMES_SENT.load(Ordering::Relaxed),
+        delivered: FLEET_DELIVERED.load(Ordering::Relaxed),
+        reordered: FLEET_REORDERED.load(Ordering::Relaxed),
+        late: FLEET_LATE.load(Ordering::Relaxed),
+        tunes: [
+            FLEET_TUNES_L0.load(Ordering::Relaxed),
+            FLEET_TUNES_L1.load(Ordering::Relaxed),
+            FLEET_TUNES_L2.load(Ordering::Relaxed),
+        ],
+        per_shard_events: FLEET_PER_SHARD_EVENTS.lock().unwrap().clone(),
+    }
+}
+
+fn record_fleet(r: &FleetReport) {
+    FLEET_RUNS.fetch_add(1, Ordering::Relaxed);
+    FLEET_SHARD_SLICES
+        .fetch_add(r.shards as u64 * r.slices as u64, Ordering::Relaxed);
+    FLEET_EVENTS.fetch_add(r.total_events(), Ordering::Relaxed);
+    let (o, a, rej) = r.sessions();
+    FLEET_OFFERED.fetch_add(o, Ordering::Relaxed);
+    FLEET_ADMITTED.fetch_add(a, Ordering::Relaxed);
+    FLEET_REJECTED.fetch_add(rej, Ordering::Relaxed);
+    for b in [&r.fleet_bus, &r.rack_bus] {
+        FLEET_FRAMES_SENT.fetch_add(b.frames_sent, Ordering::Relaxed);
+        FLEET_DELIVERED.fetch_add(b.delivered, Ordering::Relaxed);
+        FLEET_REORDERED.fetch_add(b.reordered, Ordering::Relaxed);
+        FLEET_LATE.fetch_add(b.late, Ordering::Relaxed);
+    }
+    FLEET_TUNES_L0.fetch_add(r.tunes[0], Ordering::Relaxed);
+    FLEET_TUNES_L1.fetch_add(r.tunes[1], Ordering::Relaxed);
+    FLEET_TUNES_L2.fetch_add(r.tunes[2], Ordering::Relaxed);
+    let mut per = FLEET_PER_SHARD_EVENTS.lock().unwrap();
+    if per.len() < r.per_shard.len() {
+        per.resize(r.per_shard.len(), 0);
+    }
+    for s in &r.per_shard {
+        per[s.shard as usize] += s.events;
+    }
+}
+
+/// The heterogeneous fleet the F-experiments run: ncpus cycle 3/2/1 and
+/// every shard's open-loop offered load exceeds the base admission cap
+/// (erlangs 96/48/64 against a cap of 48), so uniform caps melt the weak
+/// shards and cap-rebalancing has real work to do.
+fn fleet_plans(shards: u16) -> Vec<ShardPlan> {
+    (0..shards)
+        .map(|s| ShardPlan {
+            shard: s,
+            ncpus: [3, 2, 1][s as usize % 3],
+            load: SessionLoad {
+                arrivals_per_sec: [12.0, 6.0, 8.0][s as usize % 3],
+                mean_session_secs: 8.0,
+            },
+        })
+        .collect()
+}
+
+/// Fleet configuration shared by the F-experiments: admission caps start
+/// uniform at 48 concurrent sessions per shard (clamped to 8..=96), a
+/// rebalance corrects half the pressure imbalance per round, and every
+/// coordination round waits 2 ms for envelopes before acting.
+pub fn fleet_cfg(seed: u64, shards: u16, depth: u8, bus: BusConfig, coordinated: bool) -> FleetConfig {
+    FleetConfig {
+        topo: FleetTopology::new(shards, depth, 4),
+        bus,
+        coordinated,
+        base_cap: 48,
+        min_cap: 8,
+        max_cap: 96,
+        gain: 0.5,
+        window: Nanos::from_millis(2),
+        seed,
+    }
+}
+
+/// Runs one fleet: `slices` coordination rounds of `slice_secs` simulated
+/// seconds (smoke-capped), each round fanning the shard builds across
+/// `jobs` scoped pool threads and merging reports in shard order. The
+/// returned report is a pure function of `(cfg, slices, slice_secs)` —
+/// `jobs` must not affect a byte of it, which is exactly what F2 and the
+/// ci.sh byte-compare assert.
+pub fn run_fleet(cfg: FleetConfig, slices: u32, slice_secs: u64, jobs: usize) -> FleetReport {
+    let mut state = FleetState::new(cfg, fleet_plans(cfg.topo.shards));
+    for slice in 0..slices {
+        let specs = state.specs(slice, sim_secs(slice_secs));
+        let reports = pool::parallel_map(jobs, specs, |spec| {
+            let mut sim = spec.build();
+            timed_run(&mut sim, spec.duration)
+        });
+        state.absorb(&reports);
+    }
+    let r = state.report();
+    record_fleet(&r);
+    r
+}
+
+/// The three cross-node bus conditions F1 sweeps. The coordination
+/// window is 2 ms, so `fast` envelopes land in their own round, `slow`
+/// ones land one round stale, and `lossy` adds 25% frame loss on top —
+/// first transmissions that die wait out a 3×-latency retransmit timer
+/// and arrive several rounds stale, if at all.
+fn f1_buses(base_latency: Nanos) -> Vec<(&'static str, BusConfig)> {
+    let reliable = |latency: Nanos| ReliableConfig {
+        ack_timeout: Nanos::from_nanos(latency.as_nanos() * 3),
+        ..ReliableConfig::default()
+    };
+    let fast = BusConfig {
+        latency: base_latency,
+        fault: FaultProfile::none(),
+        reliable: reliable(base_latency),
+    };
+    let slow_lat = Nanos::from_nanos(base_latency.as_nanos() * 30);
+    let slow = BusConfig {
+        latency: slow_lat,
+        fault: FaultProfile::none(),
+        reliable: reliable(slow_lat),
+    };
+    let lossy = BusConfig {
+        latency: slow_lat,
+        fault: FaultProfile::none().with_drop(0.25),
+        reliable: reliable(slow_lat),
+    };
+    vec![("fast 100us", fast), ("slow 3ms", slow), ("lossy 3ms/25%", lossy)]
+}
+
+/// F1: fleet-scale coordination benefit vs tree depth × cross-node bus
+/// quality. One uncoordinated baseline (caps pinned at 48 — bus-
+/// invariant by construction, repeated per bus block so the CSV is
+/// self-contained) against coordinated fleets at depth 1 (flat, all
+/// rebalancing over the cross-node bus), 2 (racks rebalance locally over
+/// 8×-faster intra-rack lanes) and 3 (node-group pre-balance under the
+/// racks). The expected shape: coordination beats the baseline
+/// everywhere the envelopes arrive, the flat tree degrades hardest as
+/// the cross-node bus slows and loses frames, and deeper trees hold
+/// most of their benefit because rack-local rebalancing never leaves
+/// the building.
+pub fn fleet_f1(seed: u64) -> Table {
+    let shards = fleet_shards();
+    let jobs = pool::default_jobs();
+    let mut t = Table::new(
+        "F1 — fleet coordination benefit vs tree depth x cross-node bus",
+        &[
+            "bus",
+            "depth",
+            "arm",
+            "events",
+            "offered",
+            "adm %",
+            "X (req/s)",
+            "mean ms",
+            "vs base %",
+            "late %",
+            "tunes l0/l1/l2",
+            "drops",
+        ],
+    );
+    let base = run_fleet(
+        fleet_cfg(seed, shards, 1, BusConfig::perfect(Nanos::from_micros(100)), false),
+        F1_SLICES,
+        F1_SLICE_SECS,
+        jobs,
+    );
+    let mut row = |bus: &str, depth: &str, arm: &str, r: &FleetReport| {
+        let (offered, admitted, _) = r.sessions();
+        let adm = if offered > 0 { admitted as f64 * 100.0 / offered as f64 } else { 0.0 };
+        let vs = if base.mean_ms() > 0.0 {
+            (r.mean_ms() / base.mean_ms() - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        let delivered = r.fleet_bus.delivered + r.rack_bus.delivered;
+        let late = r.fleet_bus.late + r.rack_bus.late;
+        let late_pct =
+            if delivered > 0 { late as f64 * 100.0 / delivered as f64 } else { 0.0 };
+        t.row_owned(vec![
+            bus.to_owned(),
+            depth.to_owned(),
+            arm.to_owned(),
+            r.total_events().to_string(),
+            offered.to_string(),
+            fmt(adm),
+            fmt(r.throughput()),
+            fmt(r.mean_ms()),
+            format!("{vs:+.1}"),
+            fmt(late_pct),
+            format!("{}/{}/{}", r.tunes[0], r.tunes[1], r.tunes[2]),
+            (r.fleet_bus.channel_drops
+                + r.rack_bus.channel_drops
+                + r.fleet_bus.partition_drops
+                + r.rack_bus.partition_drops)
+                .to_string(),
+        ]);
+    };
+    for (bus_label, bus) in f1_buses(Nanos::from_micros(100)) {
+        row(bus_label, "-", "base", &base);
+        for depth in 1..=3u8 {
+            let r = run_fleet(
+                fleet_cfg(seed, shards, depth, bus, true),
+                F1_SLICES,
+                F1_SLICE_SECS,
+                jobs,
+            );
+            row(bus_label, &depth.to_string(), "coord", &r);
+        }
+    }
+    t
+}
+
+/// F2: shard determinism. The same lossy depth-2 fleet runs with the
+/// shard pool on 1 worker, on 4 workers, and once more on 1 worker (the
+/// replay); every run must land on the same [`FleetReport::digest`] —
+/// same events, same sessions, same bus counters, bit for bit. The
+/// digest is over [`FleetReport::canonical`], which excludes every
+/// wall-clock and host-configuration field.
+pub fn fleet_f2(seed: u64) -> Table {
+    let shards = fleet_shards().min(6);
+    let bus = f1_buses(Nanos::from_micros(100))
+        .pop()
+        .expect("bus sweep is non-empty")
+        .1;
+    let cfg = fleet_cfg(seed, shards, 2, bus, true);
+    let mut t = Table::new(
+        "F2 — N-shard replay bit-identity across thread counts",
+        &["run", "shards", "depth", "events", "completed", "digest", "matches jobs=1"],
+    );
+    let runs = [("jobs=1", 1usize), ("jobs=4", 4), ("replay jobs=1", 1)];
+    let mut first: Option<u64> = None;
+    for (label, jobs) in runs {
+        let r = run_fleet(cfg, 2, 20, jobs);
+        let digest = r.digest();
+        let reference = *first.get_or_insert(digest);
+        let completed: u64 = r.per_shard.iter().map(|s| s.completed).sum();
+        t.row_owned(vec![
+            label.to_owned(),
+            r.shards.to_string(),
+            r.depth.to_string(),
+            r.total_events().to_string(),
+            completed.to_string(),
+            format!("{digest:016x}"),
+            yesno(digest == reference),
+        ]);
+    }
+    t
+}
+
+// ----------------------------------------------------------------------
 // Experiment registry
 // ----------------------------------------------------------------------
 
@@ -1553,6 +1903,8 @@ pub fn experiment_ids() -> &'static [&'static str] {
         "i2_batch_preemption",
         "e1_energy_qos",
         "e2_energy_ablation",
+        "f1_fleet_scale",
+        "f2_fleet_determinism",
         "overhead",
     ]
 }
@@ -1594,6 +1946,8 @@ pub fn run_experiment(id: &str, seed: u64) -> Option<Vec<(String, Table)>> {
         "i2_batch_preemption" => one("i2_batch_preemption", inference_i2(seed)),
         "e1_energy_qos" => one("e1_energy_qos", energy_e1(seed)),
         "e2_energy_ablation" => one("e2_energy_ablation", energy_e2(seed)),
+        "f1_fleet_scale" => one("f1_fleet_scale", fleet_f1(seed)),
+        "f2_fleet_determinism" => one("f2_fleet_determinism", fleet_f2(seed)),
         "overhead" => one("overhead", coordination_overhead(seed)),
         _ => None,
     }

@@ -66,6 +66,27 @@ pub fn take_island_threads_flag(args: &mut Vec<String>) -> usize {
     threads.map(|n| n.max(1)).unwrap_or(1)
 }
 
+/// Strips a `--shards N` / `--shards=N` flag from `args` and returns the
+/// requested fleet shard count, if any. `None` leaves the fleet
+/// experiments on their default (12-shard) fleet; the value is clamped
+/// by `bench::set_fleet_shards`.
+pub fn take_shards_flag(args: &mut Vec<String>) -> Option<u16> {
+    let mut shards = None;
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = args[i].strip_prefix("--shards=") {
+            shards = v.parse::<u16>().ok();
+            args.remove(i);
+        } else if args[i] == "--shards" && i + 1 < args.len() {
+            shards = args[i + 1].parse::<u16>().ok();
+            args.drain(i..=i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    shards
+}
+
 /// Runs `f` over `items` on up to `jobs` worker threads and returns the
 /// results in submission order.
 ///
@@ -196,6 +217,19 @@ mod tests {
         assert!(args.is_empty());
         let mut args: Vec<String> = ["--jobs=0"].iter().map(|s| s.to_string()).collect();
         assert_eq!(take_jobs_flag(&mut args), 1, "zero clamps to one");
+    }
+
+    #[test]
+    fn shards_flag_parsing() {
+        let mut args: Vec<String> =
+            ["fleet", "--shards", "4"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(take_shards_flag(&mut args), Some(4));
+        assert_eq!(args, ["fleet"]);
+        let mut args: Vec<String> = ["--shards=16"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(take_shards_flag(&mut args), Some(16));
+        assert!(args.is_empty());
+        let mut args: Vec<String> = ["fleet"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(take_shards_flag(&mut args), None, "default is no override");
     }
 
     #[test]

@@ -142,6 +142,56 @@ pub fn print_islands(r: &RunReport) {
     );
 }
 
+/// Prints a fleet run's per-shard event/coordination counters plus the
+/// bus and tree totals (the `probe fleet` view).
+pub fn print_fleet(r: &fleet::FleetReport) {
+    println!(
+        "  fleet: {} shards, depth {} ({} racks), {} slices, coordinated={}",
+        r.shards, r.depth, r.racks, r.slices, r.coordinated
+    );
+    for s in &r.per_shard {
+        println!(
+            "  shard {:2} ncpus {} cap {:3}  sessions {}/{} (rej {})  \
+             events {:>9}  X={:6.1}/s mean={:7.1}ms",
+            s.shard,
+            s.ncpus,
+            s.cap,
+            s.admitted,
+            s.offered,
+            s.rejected,
+            s.events,
+            s.throughput,
+            s.mean_ms,
+        );
+    }
+    for (name, b) in [("fleet bus", &r.fleet_bus), ("rack bus ", &r.rack_bus)] {
+        println!(
+            "  {name}: sent {} delivered {} reordered {} late {} retx {} \
+             gave-up {} dup-suppressed {} drops {} partition-drops {}",
+            b.frames_sent,
+            b.delivered,
+            b.reordered,
+            b.late,
+            b.retransmits,
+            b.gave_up,
+            b.dup_suppressed,
+            b.channel_drops,
+            b.partition_drops,
+        );
+    }
+    println!(
+        "  tunes l0/l1/l2 {}/{}/{}  root lookups {}  total events {}  \
+         fleet mean {:.1} ms  digest {:016x}",
+        r.tunes[0],
+        r.tunes[1],
+        r.tunes[2],
+        r.root_lookups,
+        r.total_events(),
+        r.mean_ms(),
+        r.digest(),
+    );
+}
+
 /// Prints the per-domain CPU table: full user/system/steal split when
 /// `detail` is set, the compact percent+steal form otherwise.
 pub fn print_cpu(r: &RunReport, detail: bool) {

@@ -34,6 +34,26 @@ pub enum Resolution {
     None,
 }
 
+/// A child decision waiting to be folded into the fabric: a coordination
+/// message plus the `(lamport, source)` stamp its cross-node envelope
+/// carried and the zone it originated in.
+///
+/// Fleet aggregation delivers these in *arrival* order, which under
+/// cross-node latency skew, loss, and retransmission is not a
+/// deterministic order. [`HierarchicalController::aggregate`] restores
+/// the `(lamport, source)` total order before folding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChildReport {
+    /// Lamport timestamp from the envelope.
+    pub lamport: u64,
+    /// Source node from the envelope (tie-breaker for equal timestamps).
+    pub source: u16,
+    /// Zone the report originated in.
+    pub origin: ZoneId,
+    /// The decision itself.
+    pub msg: CoordMsg,
+}
+
 /// Per-controller load counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ZoneLoad {
@@ -157,6 +177,26 @@ impl HierarchicalController {
             let actions = self.zones[owner.0 as usize].handle(now, msg);
             (actions, Resolution::Forwarded { to: owner })
         }
+    }
+
+    /// Folds a batch of child reports into the fabric in `(lamport,
+    /// source)` order, returning the resolved actions in that order.
+    ///
+    /// This is the ordered counterpart of calling [`Self::handle`] per
+    /// report as it arrives: bus lanes deliver reports in arrival order,
+    /// which varies with latency skew and retransmission, and a fold
+    /// whose effects are order-dependent (e.g. clamped weight arithmetic)
+    /// would diverge across runs. Sorting by the envelope stamp first
+    /// makes the aggregate a pure function of the *set* of reports —
+    /// permuted arrival yields an identical aggregate.
+    pub fn aggregate(&mut self, now: Nanos, mut batch: Vec<ChildReport>) -> Vec<Action> {
+        batch.sort_by_key(|r| (r.lamport, r.source));
+        let mut actions = Vec::new();
+        for r in batch {
+            let (mut a, _) = self.handle(now, r.origin, r.msg);
+            actions.append(&mut a);
+        }
+        actions
     }
 
     /// Load counters for a zone.
@@ -332,6 +372,70 @@ mod tests {
         );
         assert_eq!(h.load(ZoneId(0)).forwarded_out, 1);
         assert_eq!(h.load(ZoneId(1)).remote_in, 1);
+    }
+
+    #[test]
+    fn aggregate_is_arrival_order_independent() {
+        // Regression (issue 9): the fold over child reports must consume
+        // children in (lamport, source) order, not arrival order. Build a
+        // batch whose stamps collide on lamport (tie broken by source) and
+        // fold every rotation + a few swaps; all must agree exactly.
+        let batch = [
+            ChildReport {
+                lamport: 3,
+                source: 1,
+                origin: ZoneId(0),
+                msg: CoordMsg::Tune { entity: EntityId(5), delta: 64, target: None },
+            },
+            ChildReport {
+                lamport: 1,
+                source: 2,
+                origin: ZoneId(1),
+                msg: CoordMsg::Tune { entity: EntityId(12), delta: -32, target: None },
+            },
+            ChildReport {
+                lamport: 3,
+                source: 0,
+                origin: ZoneId(2),
+                msg: CoordMsg::Trigger { entity: EntityId(25), target: None },
+            },
+            ChildReport {
+                lamport: 1,
+                source: 0,
+                origin: ZoneId(3),
+                msg: CoordMsg::Tune { entity: EntityId(7), delta: 16, target: None },
+            },
+        ];
+        let run = |order: &[usize]| {
+            let mut h = fabric();
+            let permuted: Vec<ChildReport> =
+                order.iter().map(|&i| batch[i].clone()).collect();
+            let actions = h.aggregate(Nanos::ZERO, permuted);
+            let loads: Vec<ZoneLoad> = (0..4).map(|z| h.load(ZoneId(z))).collect();
+            (actions, loads, h.root_lookups())
+        };
+        let reference = run(&[0, 1, 2, 3]);
+        for order in [
+            [1, 0, 3, 2],
+            [3, 2, 1, 0],
+            [2, 3, 0, 1],
+            [1, 3, 0, 2],
+            [2, 0, 3, 1],
+        ] {
+            assert_eq!(run(&order), reference, "arrival order {order:?} diverged");
+        }
+        // And the sorted fold really is the (lamport, source) order: the
+        // lamport-1 pair resolves before the lamport-3 pair, sources
+        // breaking the ties.
+        assert_eq!(
+            reference.0,
+            vec![
+                Action::ApplyTune { island: IslandId(0), local_key: 7, delta: 16 },
+                Action::ApplyTune { island: IslandId(1), local_key: 2, delta: -32 },
+                Action::ApplyTrigger { island: IslandId(2), local_key: 5 },
+                Action::ApplyTune { island: IslandId(0), local_key: 5, delta: 64 },
+            ]
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ const TAG_TRIGGER: u8 = 4;
 const TAG_ACK: u8 = 5;
 const TAG_FRAME: u8 = 6;
 const TAG_SET_KNOB: u8 = 7;
+const TAG_ENVELOPE: u8 = 8;
 
 /// Sentinel for an unaddressed (broadcast) target.
 const TARGET_NONE: u16 = u16::MAX;
@@ -172,6 +173,57 @@ pub fn decode_framed(buf: &[u8]) -> Result<(u32, CoordMsg, usize), CodecError> {
 /// `true` when the buffer starts with a sequence-numbered frame.
 pub fn is_framed(buf: &[u8]) -> bool {
     buf.first() == Some(&TAG_FRAME)
+}
+
+/// Appends a Lamport-stamped cross-node envelope around `msg` to `buf`
+/// and returns the encoded length.
+///
+/// Fleet bus lanes wrap every data message this way: one envelope tag
+/// byte, a `u32` little-endian sequence number (for the per-lane
+/// reliable-delivery layer, exactly as in [`encode_framed`]), then the
+/// `u64` Lamport timestamp and `u16` source node that give cross-node
+/// messages their deterministic `(lamport, source)` total order, then
+/// the plain [`encode`] of the inner message. An envelope `Tune` is
+/// 26 bytes.
+pub fn encode_envelope(
+    seq: u32,
+    lamport: u64,
+    source: u16,
+    msg: &CoordMsg,
+    buf: &mut Vec<u8>,
+) -> usize {
+    let start = buf.len();
+    buf.push(TAG_ENVELOPE);
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&lamport.to_le_bytes());
+    buf.extend_from_slice(&source.to_le_bytes());
+    encode(msg, buf);
+    buf.len() - start
+}
+
+/// Decodes one cross-node envelope from the front of `buf`, returning
+/// the lane sequence number, the `(lamport, source)` stamp, the inner
+/// message, and the bytes consumed.
+///
+/// # Errors
+/// Returns [`CodecError::BadTag`] when the buffer does not start with an
+/// envelope, and propagates inner decoding errors.
+pub fn decode_envelope(buf: &[u8]) -> Result<(u32, u64, u16, CoordMsg, usize), CodecError> {
+    let tag = *buf.first().ok_or(CodecError::Truncated)?;
+    if tag != TAG_ENVELOPE {
+        return Err(CodecError::BadTag(tag));
+    }
+    let b = buf.get(1..15).ok_or(CodecError::Truncated)?;
+    let seq = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+    let lamport = u64::from_le_bytes(b[4..12].try_into().expect("8 bytes"));
+    let source = u16::from_le_bytes([b[12], b[13]]);
+    let (msg, inner) = decode(&buf[15..])?;
+    Ok((seq, lamport, source, msg, 15 + inner))
+}
+
+/// `true` when the buffer starts with a cross-node envelope.
+pub fn is_envelope(buf: &[u8]) -> bool {
+    buf.first() == Some(&TAG_ENVELOPE)
 }
 
 /// Decodes one message from the front of `buf`, returning it and the
@@ -368,6 +420,52 @@ mod tests {
         assert_eq!(decode_framed(&plain), Err(CodecError::BadTag(TAG_TUNE)));
         assert_eq!(decode(&buf), Err(CodecError::BadTag(TAG_FRAME)));
         assert_eq!(decode_framed(&buf[..3]), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn envelope_roundtrip_and_errors() {
+        let msg = CoordMsg::Tune { entity: EntityId(9), delta: -3, target: Some(IslandId(1)) };
+        let mut buf = Vec::new();
+        let n = encode_envelope(0xABCD_1234, u64::MAX - 1, 0xBEEF, &msg, &mut buf);
+        assert_eq!(n, buf.len());
+        assert_eq!(n, 15 + 11, "envelope header + inner Tune");
+        assert!(is_envelope(&buf));
+        let (seq, lamport, source, decoded, consumed) = decode_envelope(&buf).unwrap();
+        assert_eq!(
+            (seq, lamport, source, decoded, consumed),
+            (0xABCD_1234, u64::MAX - 1, 0xBEEF, msg, n)
+        );
+
+        // The three wire namespaces — plain, framed, enveloped — stay
+        // disjoint: each decoder rejects the other tags.
+        let mut plain = Vec::new();
+        encode(&msg, &mut plain);
+        assert!(!is_envelope(&plain));
+        assert_eq!(decode_envelope(&plain), Err(CodecError::BadTag(TAG_TUNE)));
+        assert_eq!(decode(&buf), Err(CodecError::BadTag(TAG_ENVELOPE)));
+        assert_eq!(decode_framed(&buf), Err(CodecError::BadTag(TAG_ENVELOPE)));
+        let mut framed = Vec::new();
+        encode_framed(7, &msg, &mut framed);
+        assert_eq!(decode_envelope(&framed), Err(CodecError::BadTag(TAG_FRAME)));
+    }
+
+    #[test]
+    fn envelope_rejects_every_strict_prefix() {
+        let msg = CoordMsg::SetKnob {
+            entity: EntityId(3),
+            axis: KnobAxis::Dvfs,
+            rung: 2,
+            target: None,
+        };
+        let mut buf = Vec::new();
+        let n = encode_envelope(1, 2, 3, &msg, &mut buf);
+        for cut in 0..n {
+            assert_eq!(
+                decode_envelope(&buf[..cut]),
+                Err(CodecError::Truncated),
+                "prefix of {cut} bytes must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Shard plans and build specs: one independent [`Platform`] per shard.
+//!
+//! A *plan* is the durable description of a shard — its capacity and its
+//! open-loop offered load. A *spec* is one slice's concrete build order:
+//! plan + the admission decision (how many concurrent sessions the shard
+//! may run this slice) + the slice-salted seed. Specs are plain `Send`
+//! data so `bench::pool` can fan them out across scoped threads; each
+//! spec builds its own platform with every RNG stream derived from
+//! `seed ^ shard_id`, which is the whole shard determinism contract:
+//! a shard's slice replays bit-identically from `(seed, slice, shard)`
+//! no matter which thread runs it or what its neighbours do.
+
+use platform::{Platform, PlatformBuilder, RubisScenario};
+use simcore::Nanos;
+use workloads::session::SessionLoad;
+
+/// Mixes slice and shard into the fleet seed (splitmix-style odd
+/// multiplier keeps nearby slices' streams far apart).
+pub(crate) fn slice_seed(seed: u64, slice: u32) -> u64 {
+    seed.wrapping_add((slice as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// The durable description of one shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardPlan {
+    /// Shard (node) id; also the seed salt.
+    pub shard: u16,
+    /// Physical CPUs on the shard's x86 island (heterogeneous fleets
+    /// mix 1–3).
+    pub ncpus: u32,
+    /// Open-loop offered session load at the shard's door.
+    pub load: SessionLoad,
+}
+
+/// One slice's build order for one shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardSpec {
+    /// Shard id (applied via [`PlatformBuilder::shard`]).
+    pub shard: u16,
+    /// Slice-salted fleet seed (pre `^ shard`).
+    pub seed: u64,
+    /// Physical CPUs.
+    pub ncpus: u32,
+    /// Admitted concurrent sessions to simulate (closed-loop clients).
+    pub clients: u32,
+    /// Slice duration.
+    pub duration: Nanos,
+}
+
+impl ShardSpec {
+    /// Builds the shard's platform: an independent island set whose
+    /// every RNG stream derives from `seed ^ shard`.
+    pub fn build(&self) -> Platform {
+        PlatformBuilder::new()
+            .seed(self.seed)
+            .shard(self.shard)
+            .ncpus(self.ncpus)
+            .build_rubis(RubisScenario::read_write_mix(self.clients))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_spec_replays_bit_identically() {
+        let spec = ShardSpec {
+            shard: 3,
+            seed: slice_seed(42, 0),
+            ncpus: 2,
+            clients: 8,
+            duration: Nanos::from_secs(2),
+        };
+        let mut sim_a = spec.build();
+        let a = sim_a.run(spec.duration);
+        let mut sim_b = spec.build();
+        let b = sim_b.run(spec.duration);
+        assert_eq!(a.rubis.completed, b.rubis.completed);
+        assert_eq!(a.events_by_island, b.events_by_island);
+        assert_eq!(
+            a.rubis.responses.overall().mean(),
+            b.rubis.responses.overall().mean()
+        );
+    }
+
+    #[test]
+    fn different_shards_draw_disjoint_streams() {
+        let mk = |shard| ShardSpec {
+            shard,
+            seed: slice_seed(42, 0),
+            ncpus: 2,
+            clients: 8,
+            duration: Nanos::from_secs(2),
+        };
+        let mut sim_a = mk(0).build();
+        let a = sim_a.run(Nanos::from_secs(2));
+        let mut sim_b = mk(1).build();
+        let b = sim_b.run(Nanos::from_secs(2));
+        assert_ne!(
+            (a.rubis.completed, a.events_by_island.x86),
+            (b.rubis.completed, b.events_by_island.x86),
+            "shard salt must shift every stream"
+        );
+    }
+}

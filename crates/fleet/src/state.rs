@@ -1,0 +1,884 @@
+//! Fleet coordination state: admission caps, Lamport clocks, buses, and
+//! the node → rack → fleet aggregation tree.
+//!
+//! The coordinated resource at fleet scale is the per-shard **admission
+//! cap** (how many concurrent sessions a shard may run). Each slice,
+//! every shard reports its pressure (mean response time) upward as a
+//! Lamport-stamped Tune envelope; aggregation points rebalance cap from
+//! high-pressure members toward low-pressure ones, conserving the total.
+//! The tree depth decides *where* rebalancing happens:
+//!
+//! * depth 1 — every shard reports straight to the fleet root over the
+//!   cross-node bus; all rebalancing is global (and every decision is a
+//!   root-directory forward in `coord::hierarchy` terms).
+//! * depth 2 — shards report to their rack over short intra-rack lanes;
+//!   racks rebalance locally (zone-local resolutions) and forward only a
+//!   residual summary to the root.
+//! * depth 3 — node-group pairs pre-balance synchronously (level-0
+//!   tunes) before the rack and fleet stages.
+//!
+//! Deeper trees therefore keep most coordination close to the data and
+//! degrade gracefully when the cross-node bus is slow or lossy — the F1
+//! experiment measures exactly that.
+
+use crate::bus::{BusConfig, CoordBus, Delivery};
+use crate::lamport::{Envelope, LamportClock, NodeId};
+use crate::report::{FleetReport, ShardSummary};
+use crate::shard::{slice_seed, ShardPlan, ShardSpec};
+use coord::hierarchy::{ChildReport, HierarchicalController, ZoneId};
+use coord::{Action, CoordMsg, EntityId, IslandId, IslandKind};
+use pcie::{FaultProfile, Jitter};
+use platform::{IslandEvents, RunReport};
+use simcore::Nanos;
+use workloads::session::simulate_admission;
+
+/// Shape of the fleet tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetTopology {
+    /// Number of shards (independent platforms).
+    pub shards: u16,
+    /// Aggregation depth: 1 (flat), 2 (racks), or 3 (node groups + racks).
+    pub depth: u8,
+    /// Shards per rack.
+    pub rack_size: u16,
+}
+
+impl FleetTopology {
+    /// Creates a topology.
+    ///
+    /// # Panics
+    /// Panics unless `shards > 0`, `rack_size > 0` and `1 <= depth <= 3`.
+    pub fn new(shards: u16, depth: u8, rack_size: u16) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(rack_size > 0, "need a positive rack size");
+        assert!((1..=3).contains(&depth), "depth must be 1..=3");
+        FleetTopology { shards, depth, rack_size }
+    }
+
+    /// Number of racks.
+    pub fn racks(&self) -> u16 {
+        self.shards.div_ceil(self.rack_size)
+    }
+
+    /// The rack a shard belongs to.
+    pub fn rack_of(&self, shard: u16) -> u16 {
+        shard / self.rack_size
+    }
+
+    /// The node-group (pair) a shard belongs to (depth-3 level 0).
+    pub fn group_of(&self, shard: u16) -> u16 {
+        shard / 2
+    }
+}
+
+/// Fleet-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Tree shape.
+    pub topo: FleetTopology,
+    /// Cross-node bus lanes (the fleet root's uplinks). Intra-rack lanes
+    /// derive from this with 8× lower latency and 4× lower loss.
+    pub bus: BusConfig,
+    /// `false` runs the uncoordinated arm: caps stay at `base_cap`.
+    pub coordinated: bool,
+    /// Initial per-shard admission cap (concurrent sessions).
+    pub base_cap: u32,
+    /// Floor a rebalance may push a shard's cap to.
+    pub min_cap: u32,
+    /// Ceiling a rebalance may raise a shard's cap to.
+    pub max_cap: u32,
+    /// Rebalance step: fraction of the pressure imbalance corrected per
+    /// round (0.5 = half).
+    pub gain: f64,
+    /// Coordination-round window: how long each round waits for
+    /// envelopes before acting on what arrived.
+    pub window: Nanos,
+    /// Fleet seed; shard `s` derives every stream from `seed ^ s`.
+    pub seed: u64,
+}
+
+/// What one coordination round did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Envelopes delivered (all buses) within the round's window.
+    pub delivered: u32,
+    /// Deliveries that were stale (sent in an earlier round).
+    pub late: u32,
+    /// Cap moves applied, by tree level (node group, rack, fleet root).
+    pub moves: [u32; 3],
+}
+
+/// Intra-rack lanes: an 8× faster, 4× cleaner derivative of the
+/// cross-node bus config.
+fn rack_bus_cfg(bus: &BusConfig) -> BusConfig {
+    let div = |n: Nanos, d: u64| Nanos::from_nanos(n.as_nanos() / d);
+    let jitter = match bus.fault.jitter {
+        Jitter::None => Jitter::None,
+        Jitter::Uniform { max } => Jitter::Uniform { max: div(max, 8) },
+        Jitter::Exponential { mean } => Jitter::Exponential { mean: div(mean, 8) },
+    };
+    BusConfig {
+        latency: div(bus.latency, 8),
+        fault: FaultProfile {
+            drop_prob: bus.fault.drop_prob / 4.0,
+            dup_prob: bus.fault.dup_prob / 4.0,
+            jitter,
+            reorder_window: div(bus.fault.reorder_window, 8),
+        },
+        reliable: bus.reliable,
+    }
+}
+
+/// Encodes a pressure (mean response ms) into a Tune delta (centi-ms).
+fn quantize(pressure_ms: f64) -> i32 {
+    (pressure_ms * 100.0).round().clamp(0.0, i32::MAX as f64) as i32
+}
+
+/// Rebalances capacity among units: moves cap from units whose pressure
+/// sits above the cap-weighted mean toward units below it, `gain` of the
+/// imbalance per call, conserving the total (subject to the per-unit
+/// clamp). Deterministic; ties resolve by lowest index.
+fn rebalance(units: &[(u32, f64)], gain: f64, min_cap: u32, max_cap: u32) -> Vec<i64> {
+    let n = units.len();
+    let mut deltas = vec![0i64; n];
+    if n < 2 {
+        return deltas;
+    }
+    let total_cap: u64 = units.iter().map(|&(c, _)| c as u64).sum();
+    if total_cap == 0 {
+        return deltas;
+    }
+    let wmean: f64 = units.iter().map(|&(c, p)| c as f64 * p).sum::<f64>() / total_cap as f64;
+    if wmean <= f64::EPSILON {
+        return deltas;
+    }
+    let lo = |cap: u32| min_cap as i64 - cap as i64;
+    let hi = |cap: u32| max_cap as i64 - cap as i64;
+    for (i, &(cap, p)) in units.iter().enumerate() {
+        let raw = gain * cap as f64 * (wmean - p) / wmean;
+        deltas[i] = (raw.round() as i64).clamp(lo(cap), hi(cap));
+    }
+    // Restore conservation lost to rounding and clamping: shave the
+    // largest donors/receivers one unit at a time, lowest index first.
+    loop {
+        let sum: i64 = deltas.iter().sum();
+        if sum == 0 {
+            break;
+        }
+        let pick = if sum > 0 {
+            deltas
+                .iter()
+                .enumerate()
+                .filter(|&(i, &d)| d > lo(units[i].0))
+                .max_by_key(|&(i, &d)| (d, std::cmp::Reverse(i)))
+                .map(|(i, _)| i)
+        } else {
+            deltas
+                .iter()
+                .enumerate()
+                .filter(|&(i, &d)| d < hi(units[i].0))
+                .min_by_key(|&(i, &d)| (d, i))
+                .map(|(i, _)| i)
+        };
+        let Some(i) = pick else { break };
+        deltas[i] -= sum.signum();
+    }
+    deltas
+}
+
+/// Splits a unit-level delta across members pro-rata by cap (largest
+/// share first in index order; remainder spread one unit at a time).
+fn distribute(delta: i64, member_caps: &[u32]) -> Vec<i64> {
+    let n = member_caps.len();
+    if n == 1 {
+        return vec![delta];
+    }
+    let total: i64 = member_caps.iter().map(|&c| c as i64).sum();
+    let mut out = vec![0i64; n];
+    if total == 0 {
+        out[0] = delta;
+        return out;
+    }
+    let mut assigned = 0i64;
+    for (i, &c) in member_caps.iter().enumerate() {
+        out[i] = delta * c as i64 / total;
+        assigned += out[i];
+    }
+    let mut rem = delta - assigned;
+    let step = rem.signum();
+    let mut i = 0;
+    while rem != 0 {
+        out[i % n] += step;
+        rem -= step;
+        i += 1;
+    }
+    out
+}
+
+/// The fleet: N shard plans, their admission caps, and the coordination
+/// tree that moves cap between them.
+pub struct FleetState {
+    cfg: FleetConfig,
+    plans: Vec<ShardPlan>,
+    caps: Vec<u32>,
+    shard_clocks: Vec<LamportClock>,
+    rack_clocks: Vec<LamportClock>,
+    root_clock: LamportClock,
+    /// Shard → rack lanes (depth ≥ 2).
+    rack_bus: Option<CoordBus>,
+    /// Uplinks to the fleet root: shard lanes at depth 1, rack lanes
+    /// at depth ≥ 2.
+    fleet_bus: CoordBus,
+    h: HierarchicalController,
+    tunes: [u64; 3],
+    round: u32,
+    slices: u32,
+    sim_nanos: u128,
+    // Per-shard accumulators across slices.
+    offered: Vec<u64>,
+    admitted: Vec<u64>,
+    rejected: Vec<u64>,
+    events: Vec<u64>,
+    completed: Vec<u64>,
+    resp_weight: Vec<f64>,
+    resp_count: Vec<u64>,
+    islands: IslandEvents,
+}
+
+impl FleetState {
+    /// Builds the fleet from per-shard plans.
+    ///
+    /// # Panics
+    /// Panics if `plans.len()` does not match the topology's shard count.
+    pub fn new(cfg: FleetConfig, plans: Vec<ShardPlan>) -> Self {
+        let topo = cfg.topo;
+        let shards = topo.shards as usize;
+        assert_eq!(plans.len(), shards, "one plan per shard");
+        let racks = topo.racks();
+        // The hierarchy models racks as zones plus one extra root zone;
+        // rack-stage decisions resolve zone-locally, root-stage decisions
+        // originate in the root zone and forward through the directory.
+        let mut h = HierarchicalController::new(racks + 1);
+        for r in 0..racks {
+            h.register_island(ZoneId(r), IslandId(r), IslandKind::GeneralPurpose);
+        }
+        for plan in &plans {
+            let rack = topo.rack_of(plan.shard);
+            h.register_entity(
+                ZoneId(rack),
+                EntityId(plan.shard as u32),
+                IslandId(rack),
+                plan.shard as u64,
+            );
+        }
+        let rack_bus = (topo.depth >= 2)
+            .then(|| CoordBus::new(topo.shards, &rack_bus_cfg(&cfg.bus), cfg.seed ^ 0x7ACC));
+        let fleet_nodes = if topo.depth >= 2 { racks } else { topo.shards };
+        let fleet_bus = CoordBus::new(fleet_nodes, &cfg.bus, cfg.seed);
+        FleetState {
+            plans,
+            caps: vec![cfg.base_cap; shards],
+            shard_clocks: vec![LamportClock::new(); shards],
+            rack_clocks: vec![LamportClock::new(); racks as usize],
+            root_clock: LamportClock::new(),
+            rack_bus,
+            fleet_bus,
+            h,
+            tunes: [0; 3],
+            round: 0,
+            slices: 0,
+            sim_nanos: 0,
+            offered: vec![0; shards],
+            admitted: vec![0; shards],
+            rejected: vec![0; shards],
+            events: vec![0; shards],
+            completed: vec![0; shards],
+            resp_weight: vec![0.0; shards],
+            resp_count: vec![0; shards],
+            islands: IslandEvents::default(),
+            cfg,
+        }
+    }
+
+    /// Current per-shard admission caps.
+    pub fn caps(&self) -> &[u32] {
+        &self.caps
+    }
+
+    /// The topology.
+    pub fn topo(&self) -> FleetTopology {
+        self.cfg.topo
+    }
+
+    /// Cuts (or heals) a shard's uplink — its rack lane at depth ≥ 2,
+    /// its root lane at depth 1.
+    pub fn partition_shard(&mut self, shard: u16, cut: bool) {
+        match self.rack_bus.as_mut() {
+            Some(bus) => bus.partition(NodeId(shard), cut),
+            None => self.fleet_bus.partition(NodeId(shard), cut),
+        }
+    }
+
+    /// Runs each shard's admission door for the coming slice and returns
+    /// the build specs (admitted concurrency, slice-salted seeds).
+    pub fn specs(&mut self, slice: u32, duration: Nanos) -> Vec<ShardSpec> {
+        let seed = slice_seed(self.cfg.seed, slice);
+        self.slices += 1;
+        self.sim_nanos += duration.as_nanos() as u128;
+        self.plans
+            .iter()
+            .map(|plan| {
+                let s = plan.shard as usize;
+                let adm_seed = seed
+                    ^ 0xAD3A_0000
+                    ^ (plan.shard as u64).wrapping_mul(0x517C_C1B7_2722_0A95);
+                let adm = simulate_admission(plan.load, self.caps[s], duration, adm_seed);
+                self.offered[s] += adm.offered;
+                self.admitted[s] += adm.admitted;
+                self.rejected[s] += adm.rejected;
+                let clients = (adm.mean_active.round() as u32).min(self.caps[s]).max(1);
+                ShardSpec {
+                    shard: plan.shard,
+                    seed,
+                    ncpus: plan.ncpus,
+                    clients,
+                    duration,
+                }
+            })
+            .collect()
+    }
+
+    /// Folds one slice's shard reports into the fleet accumulators and —
+    /// on the coordinated arm — runs one coordination round over the
+    /// resulting pressures.
+    pub fn absorb(&mut self, reports: &[RunReport]) -> RoundStats {
+        assert_eq!(reports.len(), self.plans.len(), "one report per shard");
+        let mut pressures = vec![0.0f64; reports.len()];
+        for (s, r) in reports.iter().enumerate() {
+            self.events[s] += r.events_by_island.x86 + r.events_by_island.ixp + r.events_by_island.accel;
+            self.completed[s] += r.rubis.completed;
+            let overall = r.rubis.responses.overall();
+            self.resp_weight[s] += overall.mean() * overall.count() as f64;
+            self.resp_count[s] += overall.count();
+            self.islands.accumulate(&r.events_by_island);
+            pressures[s] = overall.mean();
+        }
+        if self.cfg.coordinated {
+            self.coordinate(&pressures)
+        } else {
+            RoundStats::default()
+        }
+    }
+
+    /// One coordination round: stamp → bus → ordered fold → rebalance,
+    /// at each level of the tree.
+    fn coordinate(&mut self, pressures: &[f64]) -> RoundStats {
+        let topo = self.cfg.topo;
+        let window = self.cfg.window;
+        let round = self.round;
+        self.round += 1;
+        let mut stats = RoundStats::default();
+
+        // Every shard stamps its pressure report.
+        let stamps: Vec<u64> =
+            self.shard_clocks.iter_mut().map(LamportClock::tick).collect();
+
+        // ---- Level 0: node-group pre-balance (depth 3) --------------
+        // Units carried upward: (representative shard, lamport, source,
+        // pressure, member shards).
+        let mut units: Vec<(u16, u64, u16, f64, Vec<u16>)> = Vec::new();
+        if topo.depth == 3 {
+            let groups = topo.shards.div_ceil(2);
+            for g in 0..groups {
+                let members: Vec<u16> =
+                    (g * 2..topo.shards.min(g * 2 + 2)).collect();
+                let member_units: Vec<(u32, f64)> = members
+                    .iter()
+                    .map(|&m| (self.caps[m as usize], pressures[m as usize]))
+                    .collect();
+                let deltas = rebalance(
+                    &member_units,
+                    self.cfg.gain,
+                    self.cfg.min_cap,
+                    self.cfg.max_cap,
+                );
+                let batch: Vec<ChildReport> = members
+                    .iter()
+                    .zip(&deltas)
+                    .filter(|&(_, &d)| d != 0)
+                    .map(|(&m, &d)| ChildReport {
+                        lamport: stamps[m as usize],
+                        source: m,
+                        origin: ZoneId(topo.rack_of(m)),
+                        msg: CoordMsg::Tune {
+                            entity: EntityId(m as u32),
+                            delta: d as i32,
+                            target: None,
+                        },
+                    })
+                    .collect();
+                stats.moves[0] += batch.len() as u32;
+                self.tunes[0] += batch.len() as u64;
+                let actions = self.h.aggregate(self.fleet_bus.now(), batch);
+                self.apply(&actions);
+                // Residual: cap-weighted group pressure under the rep's
+                // clock, which observes its partner before speaking.
+                let rep = members[0];
+                let cap_sum: u64 =
+                    members.iter().map(|&m| self.caps[m as usize] as u64).sum();
+                let p = if cap_sum == 0 {
+                    0.0
+                } else {
+                    members
+                        .iter()
+                        .map(|&m| self.caps[m as usize] as f64 * pressures[m as usize])
+                        .sum::<f64>()
+                        / cap_sum as f64
+                };
+                let max_stamp =
+                    members.iter().map(|&m| stamps[m as usize]).max().unwrap_or(0);
+                let lamport = self.shard_clocks[rep as usize].observe(max_stamp);
+                units.push((rep, lamport, rep, p, members));
+            }
+        } else {
+            for plan in &self.plans {
+                let s = plan.shard;
+                units.push((s, stamps[s as usize], s, pressures[s as usize], vec![s]));
+            }
+        }
+
+        // ---- Level 1: rack stage over the intra-rack bus (depth ≥ 2) --
+        let racks = topo.racks();
+        let mut root_inputs: Vec<(u16, u64, u16, f64, Vec<u16>)> = Vec::new();
+        let rack_deliveries: Option<Vec<Delivery>> = self.rack_bus.as_mut().map(|bus| {
+            bus.set_round(round);
+            let start = bus.now();
+            for &(rep, lamport, source, p, _) in &units {
+                bus.send(
+                    NodeId(rep),
+                    &Envelope {
+                        lamport,
+                        source: NodeId(source),
+                        msg: CoordMsg::Tune {
+                            entity: EntityId(rep as u32),
+                            delta: quantize(p),
+                            target: None,
+                        },
+                    },
+                );
+            }
+            let mut deliveries: Vec<Delivery> = Vec::new();
+            bus.advance(start + window, &mut deliveries);
+            deliveries
+        });
+        if let Some(deliveries) = rack_deliveries {
+            stats.delivered += deliveries.len() as u32;
+            stats.late += deliveries.iter().filter(|d| d.late).count() as u32;
+            for r in 0..racks {
+                // Latest report per unit, restored to (lamport, source)
+                // order — the satellite-1 contract.
+                let mut seen: Vec<(u16, u64, u16, f64)> = Vec::new();
+                for d in deliveries.iter().filter(|d| topo.rack_of(d.node.0) == r) {
+                    let CoordMsg::Tune { entity, delta, .. } = d.envelope.msg else {
+                        continue;
+                    };
+                    let unit = entity.0 as u16;
+                    let rec =
+                        (unit, d.envelope.lamport, d.envelope.source.0, delta as f64 / 100.0);
+                    match seen.iter_mut().find(|u| u.0 == unit) {
+                        Some(u) if (u.1, u.2) < (rec.1, rec.2) => *u = rec,
+                        Some(_) => {}
+                        None => seen.push(rec),
+                    }
+                }
+                seen.sort_by_key(|&(unit, l, s, _)| (l, s, unit));
+                if seen.is_empty() {
+                    continue;
+                }
+                let max_stamp = seen.iter().map(|&(_, l, _, _)| l).max().unwrap_or(0);
+                self.rack_clocks[r as usize].observe(max_stamp);
+                let rack_node = topo.shards + r;
+                let unit_defs: Vec<(u32, f64)> = seen
+                    .iter()
+                    .map(|&(unit, _, _, p)| (self.unit_cap(unit, topo.depth), p))
+                    .collect();
+                let deltas = rebalance(
+                    &unit_defs,
+                    self.cfg.gain,
+                    self.cfg.min_cap,
+                    self.cfg.max_cap,
+                );
+                let mut batch: Vec<ChildReport> = Vec::new();
+                for (&(unit, ..), &d) in seen.iter().zip(&deltas) {
+                    if d == 0 {
+                        continue;
+                    }
+                    for (member, md) in self.split_unit(unit, topo.depth, d) {
+                        batch.push(ChildReport {
+                            lamport: self.rack_clocks[r as usize].tick(),
+                            source: rack_node,
+                            origin: ZoneId(r),
+                            msg: CoordMsg::Tune {
+                                entity: EntityId(member as u32),
+                                delta: md as i32,
+                                target: None,
+                            },
+                        });
+                    }
+                }
+                stats.moves[1] += batch.len() as u32;
+                self.tunes[1] += batch.len() as u64;
+                let now = self.fleet_bus.now();
+                let actions = self.h.aggregate(now, batch);
+                self.apply(&actions);
+                // Residual pressure forwarded to the root.
+                let cap_sum: u64 = unit_defs.iter().map(|&(c, _)| c as u64).sum();
+                let p = if cap_sum == 0 {
+                    0.0
+                } else {
+                    unit_defs.iter().map(|&(c, p)| c as f64 * p).sum::<f64>() / cap_sum as f64
+                };
+                let members: Vec<u16> = self
+                    .plans
+                    .iter()
+                    .map(|pl| pl.shard)
+                    .filter(|&s| topo.rack_of(s) == r)
+                    .collect();
+                let lamport = self.rack_clocks[r as usize].tick();
+                root_inputs.push((r, lamport, rack_node, p, members));
+            }
+        } else {
+            root_inputs = units;
+        }
+
+        // ---- Level 2: fleet root over the cross-node bus -------------
+        self.fleet_bus.set_round(round);
+        let start = self.fleet_bus.now();
+        for &(lane, lamport, source, p, _) in &root_inputs {
+            self.fleet_bus.send(
+                NodeId(lane),
+                &Envelope {
+                    lamport,
+                    source: NodeId(source),
+                    msg: CoordMsg::Tune {
+                        entity: EntityId(lane as u32),
+                        delta: quantize(p),
+                        target: None,
+                    },
+                },
+            );
+        }
+        let mut deliveries: Vec<Delivery> = Vec::new();
+        self.fleet_bus.advance(start + window, &mut deliveries);
+        stats.delivered += deliveries.len() as u32;
+        stats.late += deliveries.iter().filter(|d| d.late).count() as u32;
+        let mut seen: Vec<(u16, u64, u16, f64)> = Vec::new();
+        for d in &deliveries {
+            let CoordMsg::Tune { entity, delta, .. } = d.envelope.msg else { continue };
+            let unit = entity.0 as u16;
+            let rec = (unit, d.envelope.lamport, d.envelope.source.0, delta as f64 / 100.0);
+            match seen.iter_mut().find(|u| u.0 == unit) {
+                Some(u) if (u.1, u.2) < (rec.1, rec.2) => *u = rec,
+                Some(_) => {}
+                None => seen.push(rec),
+            }
+        }
+        seen.sort_by_key(|&(unit, l, s, _)| (l, s, unit));
+        if !seen.is_empty() {
+            let max_stamp = seen.iter().map(|&(_, l, _, _)| l).max().unwrap_or(0);
+            self.root_clock.observe(max_stamp);
+            let root_zone = ZoneId(racks);
+            let root_node = topo.shards + racks;
+            let unit_defs: Vec<(u32, f64)> = seen
+                .iter()
+                .map(|&(unit, _, _, p)| {
+                    if topo.depth >= 2 {
+                        (self.rack_cap(unit), p)
+                    } else {
+                        (self.caps[unit as usize], p)
+                    }
+                })
+                .collect();
+            let deltas =
+                rebalance(&unit_defs, self.cfg.gain, self.cfg.min_cap, self.cfg.max_cap);
+            let mut batch: Vec<ChildReport> = Vec::new();
+            for (&(unit, ..), &d) in seen.iter().zip(&deltas) {
+                if d == 0 {
+                    continue;
+                }
+                let members: Vec<u16> = if topo.depth >= 2 {
+                    self.plans
+                        .iter()
+                        .map(|pl| pl.shard)
+                        .filter(|&s| topo.rack_of(s) == unit)
+                        .collect()
+                } else {
+                    vec![unit]
+                };
+                let member_caps: Vec<u32> =
+                    members.iter().map(|&m| self.caps[m as usize]).collect();
+                for (&m, &md) in members.iter().zip(&distribute(d, &member_caps)) {
+                    if md == 0 {
+                        continue;
+                    }
+                    batch.push(ChildReport {
+                        lamport: self.root_clock.tick(),
+                        source: root_node,
+                        origin: root_zone,
+                        msg: CoordMsg::Tune {
+                            entity: EntityId(m as u32),
+                            delta: md as i32,
+                            target: None,
+                        },
+                    });
+                }
+            }
+            stats.moves[2] += batch.len() as u32;
+            self.tunes[2] += batch.len() as u64;
+            let now = self.fleet_bus.now();
+            let actions = self.h.aggregate(now, batch);
+            self.apply(&actions);
+        }
+        // Feedback: the root's decision closes the causal loop — every
+        // shard clock observes the root's time before its next report.
+        let root_now = self.root_clock.now();
+        for c in &mut self.shard_clocks {
+            c.observe(root_now);
+        }
+        stats
+    }
+
+    /// A unit's current cap: the shard's own cap at depth ≤ 2, the
+    /// node-group sum at depth 3 (unit = representative shard).
+    fn unit_cap(&self, unit: u16, depth: u8) -> u32 {
+        if depth == 3 {
+            let g = self.cfg.topo.group_of(unit);
+            (g * 2..self.cfg.topo.shards.min(g * 2 + 2))
+                .map(|m| self.caps[m as usize])
+                .sum()
+        } else {
+            self.caps[unit as usize]
+        }
+    }
+
+    /// Splits a unit delta into per-shard deltas.
+    fn split_unit(&self, unit: u16, depth: u8, delta: i64) -> Vec<(u16, i64)> {
+        if depth == 3 {
+            let g = self.cfg.topo.group_of(unit);
+            let members: Vec<u16> =
+                (g * 2..self.cfg.topo.shards.min(g * 2 + 2)).collect();
+            let caps: Vec<u32> = members.iter().map(|&m| self.caps[m as usize]).collect();
+            members.into_iter().zip(distribute(delta, &caps)).collect()
+        } else {
+            vec![(unit, delta)]
+        }
+    }
+
+    /// A rack's total cap.
+    fn rack_cap(&self, rack: u16) -> u32 {
+        self.plans
+            .iter()
+            .filter(|p| self.cfg.topo.rack_of(p.shard) == rack)
+            .map(|p| self.caps[p.shard as usize])
+            .sum()
+    }
+
+    /// Applies hierarchy actions to the cap vector (clamped — which is
+    /// exactly why the fold order must be deterministic).
+    fn apply(&mut self, actions: &[Action]) {
+        for a in actions {
+            if let Action::ApplyTune { local_key, delta, .. } = *a {
+                let s = local_key as usize;
+                let next = self.caps[s] as i64 + delta as i64;
+                self.caps[s] =
+                    next.clamp(self.cfg.min_cap as i64, self.cfg.max_cap as i64) as u32;
+            }
+        }
+    }
+
+    /// The fleet-level report over everything absorbed so far.
+    pub fn report(&self) -> FleetReport {
+        let secs = self.sim_nanos as f64 / 1e9;
+        let per_shard: Vec<ShardSummary> = self
+            .plans
+            .iter()
+            .map(|plan| {
+                let s = plan.shard as usize;
+                ShardSummary {
+                    shard: plan.shard,
+                    ncpus: plan.ncpus,
+                    cap: self.caps[s],
+                    offered: self.offered[s],
+                    admitted: self.admitted[s],
+                    rejected: self.rejected[s],
+                    events: self.events[s],
+                    completed: self.completed[s],
+                    throughput: if secs > 0.0 { self.completed[s] as f64 / secs } else { 0.0 },
+                    mean_ms: if self.resp_count[s] > 0 {
+                        self.resp_weight[s] / self.resp_count[s] as f64
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        FleetReport {
+            shards: self.cfg.topo.shards,
+            depth: self.cfg.topo.depth,
+            racks: self.cfg.topo.racks(),
+            slices: self.slices,
+            coordinated: self.cfg.coordinated,
+            per_shard,
+            fleet_bus: self.fleet_bus.stats(),
+            rack_bus: self.rack_bus.as_ref().map(CoordBus::stats).unwrap_or_default(),
+            tunes: self.tunes,
+            root_lookups: self.h.root_lookups(),
+            islands: self.islands,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::session::SessionLoad;
+
+    fn plans(n: u16) -> Vec<ShardPlan> {
+        (0..n)
+            .map(|s| ShardPlan {
+                shard: s,
+                ncpus: [3, 2, 1][s as usize % 3],
+                load: SessionLoad {
+                    arrivals_per_sec: [12.0, 6.0, 8.0][s as usize % 3],
+                    mean_session_secs: 8.0,
+                },
+            })
+            .collect()
+    }
+
+    fn cfg(shards: u16, depth: u8, coordinated: bool) -> FleetConfig {
+        FleetConfig {
+            topo: FleetTopology::new(shards, depth, 4),
+            bus: BusConfig::perfect(Nanos::from_micros(100)),
+            coordinated,
+            base_cap: 48,
+            min_cap: 8,
+            max_cap: 96,
+            gain: 0.5,
+            window: Nanos::from_millis(2),
+            seed: 42,
+        }
+    }
+
+    /// Synthetic pressures standing in for platform runs: weak shards
+    /// (fewer cpus) report higher mean response.
+    fn pressure_round(state: &mut FleetState) -> RoundStats {
+        let p: Vec<f64> = state
+            .plans
+            .iter()
+            .map(|pl| 400.0 * pl.load.erlangs() / (pl.ncpus as f64 * 40.0))
+            .collect();
+        state.coordinate(&p)
+    }
+
+    #[test]
+    fn uncoordinated_caps_never_move() {
+        let mut st = FleetState::new(cfg(8, 2, false), plans(8));
+        let specs = st.specs(0, Nanos::from_secs(30));
+        assert_eq!(specs.len(), 8);
+        assert!(st.caps().iter().all(|&c| c == 48));
+    }
+
+    #[test]
+    fn coordination_moves_cap_toward_capacity() {
+        let mut st = FleetState::new(cfg(8, 2, true), plans(8));
+        for _ in 0..4 {
+            let _ = st.specs(0, Nanos::from_secs(10));
+            pressure_round(&mut st);
+        }
+        // ncpus-3 shards are low-pressure → they gain cap; ncpus-1
+        // shards shed it.
+        let strong: u32 = (0..8).filter(|s| s % 3 == 0).map(|s| st.caps()[s]).sum();
+        let weak: u32 = (0..8).filter(|s| s % 3 == 2).map(|s| st.caps()[s]).sum();
+        assert!(
+            strong > weak + 20,
+            "strong shards must accumulate cap: strong={strong} weak={weak} caps={:?}",
+            st.caps()
+        );
+        let r = st.report();
+        assert!(r.tunes.iter().sum::<u64>() > 0);
+        assert!(r.root_lookups > 0, "root-stage moves forward through the directory");
+    }
+
+    #[test]
+    fn deeper_trees_resolve_more_locally() {
+        let mut flat = FleetState::new(cfg(8, 1, true), plans(8));
+        let mut racked = FleetState::new(cfg(8, 2, true), plans(8));
+        for _ in 0..3 {
+            pressure_round(&mut flat);
+            pressure_round(&mut racked);
+        }
+        let flat_r = flat.report();
+        let racked_r = racked.report();
+        assert_eq!(flat_r.tunes[1], 0, "flat fleet has no rack stage");
+        assert!(racked_r.tunes[1] > 0, "racked fleet rebalances locally");
+        assert!(
+            racked_r.root_lookups < flat_r.root_lookups,
+            "racks absorb directory pressure: {} vs {}",
+            racked_r.root_lookups,
+            flat_r.root_lookups
+        );
+    }
+
+    #[test]
+    fn rounds_replay_bit_identically() {
+        let run = || {
+            let mut st = FleetState::new(cfg(6, 3, true), plans(6));
+            for _ in 0..3 {
+                let _ = st.specs(0, Nanos::from_secs(5));
+                pressure_round(&mut st);
+            }
+            (st.caps().to_vec(), st.report().digest())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rebalance_conserves_and_clamps() {
+        let units = [(48u32, 900.0), (48, 100.0), (48, 400.0), (48, 50.0)];
+        let d = rebalance(&units, 0.5, 8, 96);
+        assert_eq!(d.iter().sum::<i64>(), 0, "conserved: {d:?}");
+        assert!(d[0] < 0, "hottest unit sheds cap");
+        assert!(d[3] > 0, "coolest unit gains cap");
+        for (&(c, _), &di) in units.iter().zip(&d) {
+            let next = c as i64 + di;
+            assert!((8..=96).contains(&next), "clamped: {next}");
+        }
+        // Equal pressures are a fixed point.
+        let flat = rebalance(&[(40, 100.0), (40, 100.0)], 0.5, 8, 96);
+        assert_eq!(flat, vec![0, 0]);
+    }
+
+    #[test]
+    fn distribute_is_exact() {
+        assert_eq!(distribute(10, &[30, 10]).iter().sum::<i64>(), 10);
+        assert_eq!(distribute(-7, &[10, 10, 10]).iter().sum::<i64>(), -7);
+        assert_eq!(distribute(5, &[0, 0]), vec![5, 0]);
+    }
+
+    #[test]
+    fn partitioned_shard_is_left_out_of_rebalancing() {
+        let mut cut = FleetState::new(cfg(8, 2, true), plans(8));
+        let mut healthy = FleetState::new(cfg(8, 2, true), plans(8));
+        cut.partition_shard(5, true);
+        for _ in 0..3 {
+            pressure_round(&mut cut);
+            pressure_round(&mut healthy);
+        }
+        assert!(cut.report().rack_bus.partition_drops > 0);
+        // The cut shard's cap can only have been moved by the root's
+        // rack-level distribution, not by its own (unheard) reports; the
+        // healthy run must have moved it more.
+        assert_ne!(cut.caps(), healthy.caps());
+    }
+}

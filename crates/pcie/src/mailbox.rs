@@ -36,6 +36,8 @@ pub struct Mailbox<M> {
     /// clamp to it so FIFO survives latency changes.
     last_arrival: Nanos,
     faults: Option<FaultLayer>,
+    partitioned: bool,
+    partition_drops: u64,
 }
 
 impl<M> Mailbox<M> {
@@ -49,6 +51,8 @@ impl<M> Mailbox<M> {
             in_flight: 0,
             last_arrival: Nanos::ZERO,
             faults: None,
+            partitioned: false,
+            partition_drops: 0,
         }
     }
 
@@ -73,6 +77,12 @@ impl<M> Mailbox<M> {
         M: Clone,
     {
         self.sent += 1;
+        if self.partitioned {
+            // A partitioned lane swallows every send; messages already in
+            // flight still arrive (the cut is at the sender's edge).
+            self.partition_drops += 1;
+            return;
+        }
         let base = now + self.latency;
         let (mut arrival, dup) = match self.faults.as_mut() {
             None => (base, None),
@@ -144,8 +154,8 @@ impl<M> Mailbox<M> {
 
     /// Message copies currently in flight.
     ///
-    /// Conservation: `delivered + dropped + in_flight == sent + duplicated`
-    /// at every instant.
+    /// Conservation: `delivered + dropped + partition_drops + in_flight
+    /// == sent + duplicated` at every instant.
     pub fn in_flight(&self) -> u64 {
         self.in_flight
     }
@@ -158,6 +168,24 @@ impl<M> Mailbox<M> {
     /// Duplicate copies injected by fault injection.
     pub fn duplicated(&self) -> u64 {
         self.faults.as_ref().map_or(0, |f| f.duplicated)
+    }
+
+    /// Cuts (or heals) the lane. While partitioned every send is dropped
+    /// deterministically — no fault RNG is consumed, so healing the
+    /// partition resumes the exact same fault stream a never-partitioned
+    /// replay would have seen from that send onward.
+    pub fn set_partitioned(&mut self, partitioned: bool) {
+        self.partitioned = partitioned;
+    }
+
+    /// `true` while the lane is partitioned.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned
+    }
+
+    /// Messages swallowed by partitions (disjoint from [`Self::dropped`]).
+    pub fn partition_drops(&self) -> u64 {
+        self.partition_drops
     }
 }
 
@@ -267,6 +295,28 @@ mod tests {
         let got = deliveries(&mut m, Nanos::from_secs(1));
         assert_eq!(got.len(), 100);
         assert!(got.windows(2).all(|w| w[0] < w[1]), "FIFO violated: {got:?}");
+    }
+
+    #[test]
+    fn partition_swallows_sends_and_heals_cleanly() {
+        let mut m = Mailbox::new(Nanos::from_micros(10));
+        m.send(Nanos::ZERO, 1);
+        m.set_partitioned(true);
+        assert!(m.is_partitioned());
+        // In-flight traffic still lands; new sends vanish at the edge.
+        m.send(Nanos::from_micros(1), 2);
+        m.send(Nanos::from_micros(2), 3);
+        assert_eq!(deliveries(&mut m, Nanos::from_micros(10)), vec![1]);
+        assert_eq!(m.partition_drops(), 2);
+        assert_eq!(m.dropped(), 0, "partition drops are not fault drops");
+        m.set_partitioned(false);
+        m.send(Nanos::from_micros(20), 4);
+        assert_eq!(deliveries(&mut m, Nanos::from_micros(30)), vec![4]);
+        // Conservation with the partition term included.
+        assert_eq!(
+            m.delivered() + m.dropped() + m.partition_drops() + m.in_flight(),
+            m.sent() + m.duplicated()
+        );
     }
 
     #[test]

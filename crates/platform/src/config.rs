@@ -345,6 +345,7 @@ pub struct PlatformBuilder {
     pub(crate) defenses: Option<PolicerConfig>,
     pub(crate) adversaries: Vec<AdversarySpec>,
     pub(crate) island_threads: usize,
+    pub(crate) shard: u16,
 }
 
 impl Default for PlatformBuilder {
@@ -379,7 +380,24 @@ impl PlatformBuilder {
             defenses: None,
             adversaries: Vec::new(),
             island_threads: 1,
+            shard: 0,
         }
+    }
+
+    /// Marks this platform as fleet shard `shard_id`. Every RNG stream is
+    /// derived from `seed ^ shard_id`, so N shards built from one fleet
+    /// seed draw disjoint streams yet each replays bit-identically from
+    /// `(seed, shard_id)` alone. Shard 0 is the identity: a `.shard(0)`
+    /// platform is byte-identical to one that never called this.
+    pub fn shard(mut self, shard_id: u16) -> Self {
+        self.shard = shard_id;
+        self
+    }
+
+    /// The seed every stream actually derives from (`seed ^ shard`,
+    /// independent of the order `seed`/`shard` were set in).
+    pub(crate) fn effective_seed(&self) -> u64 {
+        self.seed ^ self.shard as u64
     }
 
     /// Sets the island worker-thread count for the PDES engine. `1`

@@ -230,6 +230,20 @@ pub struct IslandEvents {
     pub epoch_ns: u64,
 }
 
+impl IslandEvents {
+    /// Folds another run's per-island counts into this one (fleet report
+    /// aggregation: shard counts sum; `island_threads` and `epoch_ns` are
+    /// configuration, so the fold keeps the maximum it has seen).
+    pub fn accumulate(&mut self, other: &IslandEvents) {
+        self.x86 += other.x86;
+        self.ixp += other.ixp;
+        self.accel += other.accel;
+        self.sync_points += other.sync_points;
+        self.island_threads = self.island_threads.max(other.island_threads);
+        self.epoch_ns = self.epoch_ns.max(other.epoch_ns);
+    }
+}
+
 /// Simulator throughput over one run (wall-clock instrumentation).
 ///
 /// These fields describe the *simulator*, not the simulated system: they

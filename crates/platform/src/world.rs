@@ -465,13 +465,13 @@ impl Platform {
             // Fault RNG streams are derived straight from the seed — never
             // forked from the platform RNG, which would shift every draw
             // the workload makes and break fault-free byte-identity.
-            mbx.set_faults(b.fault_profile, SimRng::new(b.seed ^ 0xFA17_0001));
-            ack_mbx.set_faults(b.fault_profile, SimRng::new(b.seed ^ 0xFA17_0002));
-            accel_mbx.set_faults(b.fault_profile, SimRng::new(b.seed ^ 0xFA17_0003));
+            mbx.set_faults(b.fault_profile, SimRng::new(b.effective_seed() ^ 0xFA17_0001));
+            ack_mbx.set_faults(b.fault_profile, SimRng::new(b.effective_seed() ^ 0xFA17_0002));
+            accel_mbx.set_faults(b.fault_profile, SimRng::new(b.effective_seed() ^ 0xFA17_0003));
         }
         Platform {
             now: Nanos::ZERO,
-            rng: SimRng::new(b.seed),
+            rng: SimRng::new(b.effective_seed()),
             sched,
             ixp: IxpIsland::new(ixp_cfg),
             link: HostLink::new(b.link_config()),
@@ -639,7 +639,7 @@ impl Platform {
             PolicyKind::StreamQos => Box::new(StreamQosPolicy::new(X86, 500)),
             PolicyKind::InferenceBatch | PolicyKind::None => Box::new(NullPolicy),
         };
-        let model = RubisModel::new(scenario.rubis_config(), b.seed.wrapping_mul(0x9E37));
+        let model = RubisModel::new(scenario.rubis_config(), b.effective_seed().wrapping_mul(0x9E37));
         let clients = (0..scenario.clients)
             .map(|_| ClientState { session_start: Nanos::ZERO, done_in_session: 0 })
             .collect();
@@ -712,7 +712,7 @@ impl Platform {
             Nanos::ZERO,
             CoordMsg::RegisterIsland { island: ACCEL, kind: IslandKind::Accelerator },
         );
-        let model = InferenceModel::new(scenario.inference.clone(), b.seed);
+        let model = InferenceModel::new(scenario.inference.clone(), b.effective_seed());
         let mut tenant_vms = Vec::new();
         let mut accel_tenants = Vec::new();
         for (i, spec) in scenario.inference.tenants.iter().enumerate() {

@@ -57,32 +57,46 @@ fn steady_state_trace_recording_does_not_allocate() {
         trace.record(Nanos(i), TraceEvent::Tune { dom, from: 256, to: 257 });
     }
 
-    let before = ALLOCS.load(Ordering::SeqCst);
-    for i in 0..10_000u64 {
-        let now = Nanos(2048 + i);
-        trace.record(now, TraceEvent::Tune { dom, from: 256, to: 260 });
-        trace.record(now, TraceEvent::Trigger { dom });
-        trace.record(now, TraceEvent::Retransmit { seq: i as u32 });
-        trace.record(now, TraceEvent::AccelTune { entity, delta: -2 });
-        trace.record(now, TraceEvent::AccelTrigger { entity });
-        trace.record(
-            now,
-            TraceEvent::DegradedSuppressed {
-                msg: CoordMsg::Tune { entity, delta: 1, target: None },
-            },
-        );
-        trace.record(now, TraceEvent::GaveUp { count: 1 });
-        trace.record(now, TraceEvent::EnteredDegraded);
-        trace.record(now, TraceEvent::SuppressedDuplicate { seq: i as u32 });
-        trace.record(now, TraceEvent::DegradedOver { seq: i as u32 });
+    // The counter is process-global, so the libtest harness thread can
+    // allocate inside the bracket when a loaded machine stretches the
+    // recording loop (seen under cargo's pipelined workspace builds).
+    // Other threads can only *inflate* the count, never hide a recording
+    // allocation — so the minimum over a few attempts is the recording
+    // path's own cost, and one clean attempt proves the property.
+    let mut best = u64::MAX;
+    let mut after = 0;
+    for _ in 0..5 {
+        let before = ALLOCS.load(Ordering::SeqCst);
+        for i in 0..10_000u64 {
+            let now = Nanos(2048 + i);
+            trace.record(now, TraceEvent::Tune { dom, from: 256, to: 260 });
+            trace.record(now, TraceEvent::Trigger { dom });
+            trace.record(now, TraceEvent::Retransmit { seq: i as u32 });
+            trace.record(now, TraceEvent::AccelTune { entity, delta: -2 });
+            trace.record(now, TraceEvent::AccelTrigger { entity });
+            trace.record(
+                now,
+                TraceEvent::DegradedSuppressed {
+                    msg: CoordMsg::Tune { entity, delta: 1, target: None },
+                },
+            );
+            trace.record(now, TraceEvent::GaveUp { count: 1 });
+            trace.record(now, TraceEvent::EnteredDegraded);
+            trace.record(now, TraceEvent::SuppressedDuplicate { seq: i as u32 });
+            trace.record(now, TraceEvent::DegradedOver { seq: i as u32 });
+        }
+        after = ALLOCS.load(Ordering::SeqCst);
+        best = best.min(after - before);
+        if best == 0 {
+            break;
+        }
     }
-    let after = ALLOCS.load(Ordering::SeqCst);
     assert_eq!(
-        after - before,
+        best,
         0,
-        "recording {} trace events allocated {} time(s)",
+        "recording {} trace events allocated {} time(s) on the cleanest of 5 attempts",
         10_000 * 10,
-        after - before,
+        best,
     );
 
     // Rendering is where the cost moved: it allocates, but only when the

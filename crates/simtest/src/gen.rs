@@ -373,9 +373,12 @@ pub mod domain {
         Gen::choice(vec![KnobAxis::Dvfs, KnobAxis::CacheWays, KnobAxis::MembwShare])
     }
 
-    /// `None` or some island id; shrinks toward `None`.
+    /// `None` or some *addressable* island id; shrinks toward `None`.
+    /// `IslandId(u16::MAX)` is excluded: the wire codec reserves that id
+    /// as the broadcast/`None` sentinel, so `Some(MAX)` is outside the
+    /// encodable domain of an optional target.
     pub fn opt_island() -> Gen<Option<IslandId>> {
-        let id = island_id();
+        let id = Gen::u16_in(0, u16::MAX - 1).map(IslandId);
         let shrink_id = island_id();
         Gen::one_of(vec![
             Gen::new(|_| None),
@@ -613,6 +616,86 @@ pub mod domain {
         });
         vec_of(tenant, 1, 6)
     }
+
+    /// One generated fleet shape: how many shards, how deep the
+    /// coordination tree goes, how shards pack into racks, and how hostile
+    /// the cross-node wire is.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct FleetShape {
+        /// Shard (node) count (1..=16).
+        pub shards: u16,
+        /// Coordination tree depth (1..=3).
+        pub depth: u8,
+        /// Shards per rack (1..=shards).
+        pub rack_size: u16,
+        /// One-way cross-node bus latency.
+        pub latency: Nanos,
+        /// Per-frame loss probability on the bus.
+        pub loss: f64,
+    }
+
+    impl FleetShape {
+        /// The smallest fleet of the domain (the shrink anchor): one
+        /// shard, a flat tree, and a perfect 1 µs wire.
+        pub fn minimal() -> Self {
+            FleetShape {
+                shards: 1,
+                depth: 1,
+                rack_size: 1,
+                latency: Nanos::from_micros(1),
+                loss: 0.0,
+            }
+        }
+    }
+
+    /// Fleet topologies for the sharded-world properties: 1–16 shards,
+    /// tree depth 1–3, rack sizes that never exceed the shard count,
+    /// cross-node latencies from 1 µs to 5 ms and loss up to 40%.
+    /// Shrinks one dimension at a time toward [`FleetShape::minimal`].
+    pub fn fleet_topology() -> Gen<FleetShape> {
+        zip2(
+            zip2(Gen::u16_in(1, 16), Gen::u16_in(1, 3)),
+            zip2(
+                zip2(Gen::u16_in(1, 16), Gen::f64_in(0.0, 0.4)),
+                Gen::nanos_in(Nanos::from_micros(1), Nanos::from_millis(5)),
+            ),
+        )
+        .map(|((shards, depth), ((rack_raw, loss), latency))| FleetShape {
+            shards,
+            depth: depth as u8,
+            // Fold the raw draw into 1..=shards so every shape is valid.
+            rack_size: (rack_raw - 1) % shards + 1,
+            latency,
+            loss,
+        })
+        .with_shrink(|t| {
+            let min = FleetShape::minimal();
+            let mut out = Vec::new();
+            if *t != min {
+                out.push(min);
+            }
+            if t.shards > 1 {
+                out.push(FleetShape {
+                    shards: t.shards / 2,
+                    rack_size: t.rack_size.min(t.shards / 2),
+                    ..*t
+                });
+            }
+            if t.depth > 1 {
+                out.push(FleetShape { depth: t.depth - 1, ..*t });
+            }
+            if t.rack_size > 1 {
+                out.push(FleetShape { rack_size: 1, ..*t });
+            }
+            if t.loss > 0.0 {
+                out.push(FleetShape { loss: 0.0, ..*t });
+            }
+            if t.latency > min.latency {
+                out.push(FleetShape { latency: min.latency, ..*t });
+            }
+            out
+        })
+    }
 }
 
 #[cfg(test)]
@@ -725,6 +808,35 @@ mod tests {
                 .any(|s| s == &vec![domain::InferenceTenantMix::minimal()]),
             "offers the minimal tenant as a shrink"
         );
+    }
+
+    #[test]
+    fn fleet_topology_respects_domain_bounds_and_shrinks_to_minimal() {
+        let g = domain::fleet_topology();
+        let mut rng = SimRng::new(11);
+        for _ in 0..200 {
+            let t = g.sample(&mut rng);
+            assert!((1..=16).contains(&t.shards));
+            assert!((1..=3).contains(&t.depth));
+            assert!((1..=t.shards).contains(&t.rack_size), "{t:?}");
+            assert!(t.latency >= Nanos::from_micros(1) && t.latency <= Nanos::from_millis(5));
+            assert!((0.0..=0.4).contains(&t.loss));
+            for s in g.shrinks(&t) {
+                assert!(s.rack_size >= 1 && s.rack_size <= s.shards, "{s:?}");
+            }
+        }
+        let big = domain::FleetShape {
+            shards: 12,
+            depth: 3,
+            rack_size: 4,
+            latency: Nanos::from_millis(2),
+            loss: 0.3,
+        };
+        assert!(
+            g.shrinks(&big).contains(&domain::FleetShape::minimal()),
+            "offers the minimal fleet as a shrink"
+        );
+        assert!(g.shrinks(&domain::FleetShape::minimal()).is_empty());
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //!   interface (demand-delta inflation, Trigger spam, free-riding),
 //!   driving the price-of-anarchy experiment and the controller-side
 //!   defenses in `coord`.
+//! * [`session`] — open-loop session arrival with per-shard admission
+//!   (an M/G/c/c loss door), the fleet-scale load model: offered load
+//!   scales 100×–1000× beyond one shard's capacity and the admission
+//!   cap is the knob fleet coordination moves between shards.
 //!
 //! ## Example
 //!
@@ -47,3 +51,4 @@ pub mod adversary;
 pub mod inference;
 pub mod mplayer;
 pub mod rubis;
+pub mod session;

@@ -217,6 +217,67 @@ if by["membw share only"]["final dvfs %"] != "100" or by["membw share only"]["fi
 print("    ok: e1_energy_qos.csv and e2_energy_ablation.csv shapes verified")
 EOF
 
+echo "==> fleet smoke pass (experiments fleet --smoke)"
+./target/release/experiments --smoke --jobs "$smoke_jobs" fleet > /dev/null
+python3 - <<'EOF'
+import csv, json, sys
+
+rows = list(csv.DictReader(open("results/f1_fleet_scale.csv")))
+cols = list(rows[0].keys())
+expect = ["bus", "depth", "arm", "events", "offered", "adm %", "X (req/s)",
+          "mean ms", "vs base %", "late %", "tunes l0/l1/l2", "drops"]
+if cols != expect:
+    sys.exit(f"f1_fleet_scale.csv: unexpected columns {cols}")
+buses = ["fast 100us", "slow 3ms", "lossy 3ms/25%"]
+if [r["bus"] for r in rows] != [b for b in buses for _ in range(4)]:
+    sys.exit(f"f1_fleet_scale.csv: unexpected bus blocks {[r['bus'] for r in rows]}")
+if [r["depth"] for r in rows] != ["-", "1", "2", "3"] * 3:
+    sys.exit("f1_fleet_scale.csv: each bus block must sweep depths -,1,2,3")
+base_rows = [r for r in rows if r["arm"] == "base"]
+if len({r["events"] for r in base_rows}) != 1:
+    sys.exit("f1_fleet_scale.csv: uncoordinated base must be bus-invariant")
+for r in rows:
+    if r["arm"] == "coord" and float(r["vs base %"]) >= 0.0:
+        sys.exit(f"f1_fleet_scale.csv: no coordination benefit on "
+                 f"{r['bus']} depth {r['depth']} ({r['vs base %']}%)")
+    if int(r["events"]) <= 0:
+        sys.exit(f"f1_fleet_scale.csv: empty run on {r['bus']} depth {r['depth']}")
+if not any(int(r["drops"]) > 0 for r in rows if r["bus"].startswith("lossy")):
+    sys.exit("f1_fleet_scale.csv: lossy bus recorded no channel drops")
+
+rows = list(csv.DictReader(open("results/f2_fleet_determinism.csv")))
+if [r["run"] for r in rows] != ["jobs=1", "jobs=4", "replay jobs=1"]:
+    sys.exit(f"f2_fleet_determinism.csv: unexpected runs {[r['run'] for r in rows]}")
+if len({r["digest"] for r in rows}) != 1:
+    sys.exit("f2_fleet_determinism.csv: digests diverged across thread counts")
+if any(r["matches jobs=1"] != "yes" for r in rows):
+    sys.exit("f2_fleet_determinism.csv: replay mismatch flagged")
+
+fleet = json.load(open("results/BENCH_experiments.json"))["fleet"]
+if fleet["runs"] <= 0 or fleet["events"] <= 0:
+    sys.exit("BENCH_experiments.json: fleet block recorded no runs/events")
+if len(fleet["per_shard_events"]) != int(fleet["shards"]):
+    sys.exit("BENCH_experiments.json: per_shard_events width != shard count")
+print("    ok: f1_fleet_scale.csv, f2_fleet_determinism.csv and fleet report verified")
+EOF
+
+echo "==> fleet shard byte-identity (2 shards, --jobs 1 vs 4)"
+# ARCH_JOBS drives the *inner* shard fan-out (pool::default_jobs) while
+# --jobs fans whole experiments; vary both so the scoped-thread shard
+# merge itself is exercised, not just the outer experiment order.
+fleet_tmp=$(mktemp -d)
+ARCH_JOBS=1 ./target/release/experiments --smoke --shards 2 --jobs 1 fleet > /dev/null
+cp results/f1_fleet_scale.csv results/f2_fleet_determinism.csv "$fleet_tmp/"
+ARCH_JOBS=4 ./target/release/experiments --smoke --shards 2 --jobs 4 fleet > /dev/null
+for csv in f1_fleet_scale f2_fleet_determinism; do
+    cmp "results/${csv}.csv" "$fleet_tmp/${csv}.csv" || {
+        echo "${csv}.csv differs between --jobs 1 and --jobs 4" >&2
+        exit 1
+    }
+done
+echo "    ok: 2-shard fleet CSVs byte-identical across worker counts"
+rm -rf "$fleet_tmp"
+
 echo "==> PDES island-threads smoke pass (i1 + a1 byte-identity vs serial)"
 pdes_tmp=$(mktemp -d)
 for sel in i1 a1; do

@@ -21,6 +21,8 @@
 //! * [`workloads`] — RUBiS (3-tier auction site), MPlayer (streaming) and
 //!   multi-tenant inference serving
 //! * [`platform`] — the wired-up two- or three-island platform simulation
+//! * [`fleet`] — N platform shards joined by a Lamport-ordered
+//!   cross-node coordination bus and a node → rack → fleet tree
 //! * [`metrics`] — reporting: response times, throughput, utilization,
 //!   platform efficiency
 //!
@@ -42,6 +44,7 @@
 
 pub use accel;
 pub use coord;
+pub use fleet;
 pub use ixp;
 pub use metrics;
 pub use pcie;

@@ -391,6 +391,9 @@ fn arbitrary_bytes_never_panic_the_wire_decoders() {
         if let Ok((_, _, used)) = wire::decode_framed(bytes) {
             st_assert!(used <= bytes.len(), "decode_framed used {used} of {}", bytes.len());
         }
+        if let Ok((_, _, _, _, used)) = wire::decode_envelope(bytes) {
+            st_assert!(used <= bytes.len(), "decode_envelope used {used} of {}", bytes.len());
+        }
         Ok(())
     });
 }
